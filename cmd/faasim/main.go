@@ -1,0 +1,114 @@
+// Command faasim runs the simulated serverless platform end to end: it
+// registers Table I functions under a chosen snapshot mode (toss, reap, or
+// dram), replays a randomized invocation trace through a worker pool, and
+// prints per-function statistics including the TOSS lifecycle phase and the
+// billed memory cost.
+//
+// Usage:
+//
+//	faasim [-mode toss|reap|dram] [-requests N] [-workers N] [-functions a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"toss/internal/core"
+	"toss/internal/platform"
+	"toss/internal/workload"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "toss", "snapshot mode: toss, reap, faasnap, or dram")
+	requests := flag.Int("requests", 400, "number of invocations to replay")
+	workers := flag.Int("workers", 4, "invoker pool size")
+	fns := flag.String("functions", "pyaes,json_load_dump,compress", "comma-separated Table I functions")
+	window := flag.Int("window", 12, "TOSS profiling convergence window")
+	seed := flag.Int64("seed", 42, "trace seed")
+	flag.Parse()
+
+	var mode platform.Mode
+	switch *modeFlag {
+	case "toss":
+		mode = platform.ModeTOSS
+	case "reap":
+		mode = platform.ModeREAP
+	case "faasnap":
+		mode = platform.ModeFaaSnap
+	case "dram":
+		mode = platform.ModeDRAM
+	default:
+		fmt.Fprintf(os.Stderr, "faasim: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.ConvergenceWindow = *window
+	p, err := platform.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasim:", err)
+		os.Exit(1)
+	}
+
+	names := strings.Split(*fns, ",")
+	for _, name := range names {
+		spec, ok := workload.ByName(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "faasim: unknown function %q (known: %v)\n", name, workload.Names())
+			os.Exit(2)
+		}
+		if err := p.Register(spec, mode); err != nil {
+			fmt.Fprintln(os.Stderr, "faasim:", err)
+			os.Exit(1)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	reqs := make([]platform.Request, 0, *requests)
+	for i := 0; i < *requests; i++ {
+		reqs = append(reqs, platform.Request{
+			Function: names[rng.Intn(len(names))],
+			Level:    workload.Levels[rng.Intn(len(workload.Levels))],
+			Seed:     rng.Int63n(1 << 40),
+		})
+	}
+
+	fmt.Printf("replaying %d requests over %d workers in %s mode...\n\n",
+		len(reqs), *workers, mode)
+	records := p.Replay(reqs, *workers)
+
+	var failed int
+	for _, r := range records {
+		if r.Err != nil {
+			failed++
+		}
+	}
+
+	sort.Strings(names)
+	fmt.Printf("%-18s %8s %10s %12s %12s %10s %10s\n",
+		"function", "invokes", "phase", "mean exec", "max exec", "cost", "slow %")
+	for _, name := range names {
+		st, err := p.Stats(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faasim:", err)
+			os.Exit(1)
+		}
+		phase := "-"
+		if mode == platform.ModeTOSS {
+			phase = st.Phase.String()
+		}
+		fmt.Printf("%-18s %8d %10s %12s %12s %10.3f %9.1f%%\n",
+			name, st.Invocations, phase,
+			st.MeanExec().Std().Round(10e3).String(),
+			st.MaxExec.Std().Round(10e3).String(),
+			st.NormCost, st.SlowShare*100)
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d invocations failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+// Command tossctl regenerates the paper's tables and figures on the
+// simulation substrate.
+//
+// Usage:
+//
+//	tossctl [flags] <experiment-id>... | all | list
+//
+// Experiment ids follow DESIGN.md's per-experiment index: table1, fig1,
+// fig2, fig3, fig5, table2, fig6, fig7, fig8, fig9, sec6c3a, sec6c3b.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"toss/internal/experiments"
+)
+
+func main() {
+	iters := flag.Int("iters", 5, "measurement repetitions per data point (paper uses 10)")
+	window := flag.Int("window", 12, "profiling convergence window (paper uses 100)")
+	seed := flag.Int64("seed", 1, "base seed for all deterministic randomness")
+	ratio := flag.Float64("ratio", 2.5, "fast:slow tier cost ratio")
+	threshold := flag.Float64("threshold", 0, "slowdown threshold (0 disables; e.g. 0.1 = 10%)")
+	timing := flag.Bool("timing", false, "print wall-clock timing per experiment")
+	format := flag.String("format", "table", "output format: table, csv, or json")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tossctl [flags] <experiment>... | all | list\n\nexperiments: %v\n\nflags:\n", experiments.IDs())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	suite := experiments.NewSuite()
+	suite.Iterations = *iters
+	suite.Core.ConvergenceWindow = *window
+	suite.BaseSeed = *seed
+	suite.Core.SlowdownThreshold = *threshold
+	if *ratio != 2.5 {
+		m := suite.Core.Cost
+		m.CostSlow = m.CostFast / *ratio
+		suite.Core.Cost = m
+	}
+
+	ids := flag.Args()
+	if len(ids) == 1 {
+		switch ids[0] {
+		case "list":
+			for _, id := range experiments.IDs() {
+				fmt.Println(id)
+			}
+			return
+		case "all":
+			ids = experiments.IDs()
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		t, err := suite.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tossctl: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		var out string
+		switch *format {
+		case "table":
+			out = t.String()
+		case "csv":
+			out, err = t.CSV()
+		case "json":
+			out, err = t.JSON()
+		default:
+			fmt.Fprintf(os.Stderr, "tossctl: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tossctl: %s: render: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if *timing {
+			fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Reprofiling demonstrates TOSS's snapshot re-generation mechanism (§V-E):
+// a function is profiled on small inputs only, then production traffic
+// shifts to much larger requests. Each long invocation grows the
+// accelerating factor (Eq. 3) against the recorded profiling overhead
+// (Eq. 2) until Eq. 4 trips, TOSS re-enters the profiling phase, and the
+// regenerated tiered snapshot covers the new behaviour.
+//
+// Run with: go run ./examples/reprofiling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"toss/internal/core"
+	"toss/internal/workload"
+)
+
+func main() {
+	spec, ok := workload.ByName("image_processing")
+	if !ok {
+		log.Fatal("image_processing not registered")
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.ConvergenceWindow = 6
+	// A loose budget so the demo trips quickly; the paper's 0.0001 bounds
+	// profiling to 0.01% of invocations in production.
+	cfg.ReprofileBudget = 0.5
+
+	ctrl, err := core.NewController(cfg, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: profile on small inputs only (I and II).
+	fmt.Println("phase 1: profiling on small inputs (I, II) only")
+	seed := int64(1)
+	invoke := func(lv workload.Level) core.Result {
+		seed++
+		res, err := ctrl.Invoke(lv, seed, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	invoke(workload.I)
+	for i := 0; ctrl.Phase() != core.PhaseTiered; i++ {
+		if i > 400 {
+			log.Fatal("no convergence")
+		}
+		lv := workload.I
+		if i%2 == 1 {
+			lv = workload.II
+		}
+		invoke(lv)
+	}
+	a := ctrl.Analysis()
+	fmt.Printf("  converged: cost %.3f, slow share %.1f%%, profiling overhead %.1f invocation-equivalents\n\n",
+		a.MinCost(), a.SlowShare()*100, a.ProfilingOverhead)
+
+	// Phase 2: production shifts to input IV — every invocation runs far
+	// longer than anything profiling saw.
+	fmt.Println("phase 2: production shifts to input IV (longer than the profiled LRI)")
+	tripped := 0
+	for i := 0; i < 200 && tripped == 0; i++ {
+		res := invoke(workload.IV)
+		if res.ReprofileTriggered {
+			tripped = i + 1
+		}
+	}
+	if tripped == 0 {
+		log.Fatal("re-profiling never triggered")
+	}
+	fmt.Printf("  Eq. 4 tripped after %d oversized invocations -> back to profiling\n\n", tripped)
+
+	// Phase 3: re-profile on the real mix and converge again.
+	fmt.Println("phase 3: re-profiling with the new mix")
+	for i := 0; ctrl.Phase() != core.PhaseTiered; i++ {
+		if i > 400 {
+			log.Fatal("no re-convergence")
+		}
+		invoke(workload.Levels[i%4])
+	}
+	a2 := ctrl.Analysis()
+	fmt.Printf("  regenerated snapshot: cost %.3f, slow share %.1f%% (re-profiles: %d)\n",
+		a2.MinCost(), a2.SlowShare()*100, ctrl.Reprofiles())
+	fmt.Println("  the enhanced unified pattern now covers input IV's footprint")
+}

@@ -1,0 +1,3 @@
+module toss
+
+go 1.22

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"toss/internal/damon"
+	"toss/internal/microvm"
+	"toss/internal/snapshot"
+	"toss/internal/workload"
+)
+
+// Phase is the controller's lifecycle state for one function.
+type Phase int
+
+const (
+	// PhaseInitial means no invocation has happened yet (before Step I).
+	PhaseInitial Phase = iota
+	// PhaseProfiling means Step II is collecting DAMON patterns.
+	PhaseProfiling
+	// PhaseTiered means the tiered snapshot is serving invocations.
+	PhaseTiered
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseInitial:
+		return "initial"
+	case PhaseProfiling:
+		return "profiling"
+	case PhaseTiered:
+		return "tiered"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Controller drives the full TOSS lifecycle for one function: initial
+// execution, profiling until convergence, analysis, tiered serving, and
+// re-profiling when the workload drifts (§V-E).
+type Controller struct {
+	cfg  Config
+	spec *workload.Spec
+
+	phase    Phase
+	pd       *ProfileData
+	analysis *Analysis
+	tiered   *snapshot.Tiered
+
+	// stable counts consecutive profiling invocations that left the
+	// unified pattern unchanged.
+	stable int
+	// iterations counts invocations served from the tiered snapshot since
+	// it was (re)generated — Eq. 4's #iterations.
+	iterations int64
+	// accelFactor accumulates Eq. 3.
+	accelFactor float64
+	// reprofiles counts completed re-profiling cycles.
+	reprofiles int
+	// regen accumulates incremental-regeneration statistics across
+	// snapshot generations (§V-E).
+	regen RegenStats
+	// invocations counts every invocation ever served.
+	invocations int64
+
+	// hooks receive pipeline artifacts as they are produced.
+	hooks Hooks
+}
+
+// Hooks lets persistence layers observe the pipeline without coupling the
+// controller to any storage backend.
+type Hooks struct {
+	// OnPattern receives each profiling invocation's DAMON pattern.
+	OnPattern func(seq int, p damon.Pattern)
+	// OnConverged fires after Step IV with the full artifact set (also on
+	// re-profiling convergences).
+	OnConverged func(pd *ProfileData, a *Analysis, ts *snapshot.Tiered)
+}
+
+// SetHooks installs artifact hooks; call before the first invocation.
+func (c *Controller) SetHooks(h Hooks) {
+	c.hooks = h
+	if c.pd != nil {
+		c.pd.OnPattern = h.OnPattern
+	}
+}
+
+// NewController validates the configuration and returns a fresh controller.
+func NewController(cfg Config, spec *workload.Spec) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("core: nil workload spec")
+	}
+	return &Controller{cfg: cfg, spec: spec}, nil
+}
+
+// Phase returns the current lifecycle phase.
+func (c *Controller) Phase() Phase { return c.phase }
+
+// Analysis returns the latest Step III outcome (nil before convergence).
+func (c *Controller) Analysis() *Analysis { return c.analysis }
+
+// Tiered returns the current tiered snapshot (nil before convergence).
+func (c *Controller) Tiered() *snapshot.Tiered { return c.tiered }
+
+// Reprofiles returns how many re-profiling cycles have completed.
+func (c *Controller) Reprofiles() int { return c.reprofiles }
+
+// Invocations returns the total number of invocations served.
+func (c *Controller) Invocations() int64 { return c.invocations }
+
+// Result is one invocation's outcome plus controller bookkeeping.
+type Result struct {
+	microvm.Result
+	// Phase the invocation was served in.
+	Phase Phase
+	// Converged is true on the invocation that completed profiling.
+	Converged bool
+	// ReprofileTriggered is true when this invocation tripped Eq. 4.
+	ReprofileTriggered bool
+}
+
+// Invoke serves one invocation.
+func (c *Controller) Invoke(lv workload.Level, seed int64, concurrency int) (Result, error) {
+	c.invocations++
+	switch c.phase {
+	case PhaseInitial:
+		pd, res, err := NewProfileData(c.cfg, c.spec, lv, seed)
+		if err != nil {
+			return Result{}, err
+		}
+		c.pd = pd
+		c.pd.OnPattern = c.hooks.OnPattern
+		c.phase = PhaseProfiling
+		c.stable = 0
+		return Result{Result: res, Phase: PhaseInitial}, nil
+
+	case PhaseProfiling:
+		res, changed, err := c.pd.ProfileInvocation(c.cfg, lv, seed, concurrency)
+		if err != nil {
+			return Result{}, err
+		}
+		if changed {
+			c.stable = 0
+		} else {
+			c.stable++
+		}
+		out := Result{Result: res, Phase: PhaseProfiling}
+		if c.stable >= c.cfg.ConvergenceWindow {
+			if err := c.converge(); err != nil {
+				return Result{}, err
+			}
+			out.Converged = true
+		}
+		return out, nil
+
+	case PhaseTiered:
+		tr, err := c.spec.Trace(lv, seed)
+		if err != nil {
+			return Result{}, err
+		}
+		vm := microvm.RestoreTiered(c.cfg.VM, c.pd.Layout, c.tiered, concurrency)
+		vm.SetRecordTruth(false) // profiling is detached in the tiered phase
+		res, err := vm.Run(tr)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: tiered invocation: %w", err)
+		}
+		c.iterations++
+		// Eq. 3: every invocation longer than the profiling phase's
+		// longest-running invocation accelerates re-profiling.
+		// FullSlowSlowdown is already the ratio (1 + Slowdown_Slow).
+		if lri := c.pd.Largest.Exec; lri > 0 && res.Exec > lri {
+			c.accelFactor += float64(res.Exec) / float64(lri) * c.analysis.FullSlowSlowdown
+		}
+		out := Result{Result: res, Phase: PhaseTiered}
+		if c.shouldReprofile() {
+			c.startReprofile()
+			out.ReprofileTriggered = true
+		}
+		return out, nil
+
+	default:
+		return Result{}, fmt.Errorf("core: invalid phase %v", c.phase)
+	}
+}
+
+// RegenStats tracks how much work snapshot re-generation avoided by
+// rewriting only the pages whose tier changed.
+type RegenStats struct {
+	// Generations counts tiered snapshots built (1 after first converge).
+	Generations int
+	// PagesReused / PagesRewritten accumulate across re-generations.
+	PagesReused    int64
+	PagesRewritten int64
+}
+
+// RegenStats returns the incremental-regeneration counters.
+func (c *Controller) RegenStats() RegenStats { return c.regen }
+
+// converge runs Step III and Step IV and switches to tiered serving.
+func (c *Controller) converge() error {
+	a, err := Analyze(c.cfg, c.pd)
+	if err != nil {
+		return err
+	}
+	c.analysis = a
+	old := c.tiered
+	c.tiered = BuildSnapshot(c.pd, a)
+	c.regen.Generations++
+	if old != nil {
+		diff := snapshot.DiffTiered(old, c.tiered)
+		c.regen.PagesReused += diff.ReusedPages
+		c.regen.PagesRewritten += diff.RewrittenPages()
+	}
+	c.phase = PhaseTiered
+	c.iterations = 0
+	c.accelFactor = 0
+	if c.hooks.OnConverged != nil {
+		c.hooks.OnConverged(c.pd, a, c.tiered)
+	}
+	return nil
+}
+
+// shouldReprofile evaluates Eq. 4:
+//
+//	#iterations * budget >= prof_overhead - accel_factor
+func (c *Controller) shouldReprofile() bool {
+	if c.cfg.ReprofileBudget <= 0 || c.analysis == nil {
+		return false
+	}
+	return float64(c.iterations)*c.cfg.ReprofileBudget >= c.analysis.ProfilingOverhead-c.accelFactor
+}
+
+// startReprofile sends the controller back to Step II, keeping the single
+// snapshot and the unified pattern so new behaviour *enhances* the existing
+// profile rather than replacing it.
+func (c *Controller) startReprofile() {
+	c.phase = PhaseProfiling
+	c.stable = 0
+	c.reprofiles++
+}

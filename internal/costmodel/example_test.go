@@ -1,0 +1,24 @@
+package costmodel_test
+
+import (
+	"fmt"
+
+	"toss/internal/costmodel"
+)
+
+// Example reproduces the paper's headline arithmetic: at the 2.5x tier cost
+// ratio, running everything in the slow tier with no slowdown bills 0.4x
+// the DRAM-only price, and a fully-offloaded function stays cheaper than
+// DRAM until its slowdown reaches the cost ratio.
+func Example() {
+	m := costmodel.Default()
+	fmt.Printf("optimal: %.2f\n", m.Optimal())
+	fmt.Printf("pagerank-like (25.6%% slower, 49.1%% offloaded): %.2f\n",
+		m.Normalized(1.256, 491, 1000))
+	fmt.Printf("break-even slowdown fully offloaded: %.2f\n",
+		m.Normalized(2.5, 1000, 1000))
+	// Output:
+	// optimal: 0.40
+	// pagerank-like (25.6% slower, 49.1% offloaded): 0.89
+	// break-even slowdown fully offloaded: 1.00
+}

@@ -1,0 +1,209 @@
+package damon
+
+import (
+	"testing"
+
+	"toss/internal/access"
+	"toss/internal/guest"
+	"toss/internal/workload"
+)
+
+func monitorTarget(pages int64) []guest.Region {
+	return []guest.Region{{Start: 0, Pages: pages}}
+}
+
+func TestMonitorRegionsCoverTarget(t *testing.T) {
+	cfg := DefaultConfig()
+	mon := NewMonitor(cfg, monitorTarget(1024), 20, 1)
+	touched := access.NewHistogram()
+	for p := guest.PageID(100); p < 200; p++ {
+		touched.Add(p, 5)
+	}
+	for w := 0; w < 10; w++ {
+		mon.AggregationWindow(touched)
+		var covered int64
+		var prevEnd guest.PageID
+		for i, r := range mon.Regions() {
+			if i > 0 && r.Region.Start != prevEnd {
+				t.Fatalf("window %d: gap before %v", w, r.Region)
+			}
+			if r.Region.Pages < 1 {
+				t.Fatalf("window %d: empty region", w)
+			}
+			covered += r.Region.Pages
+			prevEnd = r.Region.End()
+		}
+		if covered != 1024 {
+			t.Fatalf("window %d: regions cover %d pages, want 1024", w, covered)
+		}
+		if n := len(mon.Regions()); n > cfg.MaxRegions {
+			t.Fatalf("window %d: %d regions exceed cap %d", w, n, cfg.MaxRegions)
+		}
+	}
+}
+
+func TestMonitorFindsHotRegion(t *testing.T) {
+	cfg := DefaultConfig()
+	mon := NewMonitor(cfg, monitorTarget(4096), 50, 2)
+	touched := access.NewHistogram()
+	// Hot band [1000, 1100); everything else idle.
+	for p := guest.PageID(1000); p < 1100; p++ {
+		touched.Add(p, 100)
+	}
+	for w := 0; w < 20; w++ {
+		mon.AggregationWindow(touched)
+	}
+	snap := mon.Snapshot()
+	if len(snap.Records) == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	// Every recorded page must be inside the hot band.
+	for _, rec := range snap.Records {
+		if rec.Region.Start < 1000 || rec.Region.End() > 1100 {
+			t.Errorf("record %v outside the hot band", rec.Region)
+		}
+		if rec.NrAccesses < 1 {
+			t.Errorf("zero-count record %v", rec)
+		}
+	}
+}
+
+func TestMonitorSeparatesIntensities(t *testing.T) {
+	cfg := DefaultConfig()
+	// Hot half touched every window, cold half touched in 1 of 5 windows.
+	mon := NewMonitor(cfg, monitorTarget(512), 40, 3)
+	hot := access.NewHistogram()
+	for p := guest.PageID(0); p < 256; p++ {
+		hot.Add(p, 10)
+	}
+	both := hot.Clone()
+	for p := guest.PageID(256); p < 512; p++ {
+		both.Add(p, 10)
+	}
+	for w := 0; w < 25; w++ {
+		if w%5 == 0 {
+			mon.AggregationWindow(both)
+		} else {
+			mon.AggregationWindow(hot)
+		}
+	}
+	snap := mon.Snapshot().ToHistogram()
+	hotMean := regionMean(snap, 0, 256)
+	coldMean := regionMean(snap, 256, 512)
+	if hotMean < 3*coldMean {
+		t.Errorf("hot mean %v not well above cold mean %v", hotMean, coldMean)
+	}
+}
+
+func regionMean(h *access.Histogram, lo, hi guest.PageID) float64 {
+	var sum int64
+	for p := lo; p < hi; p++ {
+		sum += h.Count(p)
+	}
+	return float64(sum) / float64(hi-lo)
+}
+
+func TestMonitorDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	touched := access.NewHistogram()
+	for p := guest.PageID(0); p < 64; p++ {
+		touched.Add(p, 3)
+	}
+	run := func(seed int64) Pattern {
+		mon := NewMonitor(cfg, monitorTarget(256), 30, seed)
+		for w := 0; w < 8; w++ {
+			mon.AggregationWindow(touched)
+		}
+		return mon.Snapshot()
+	}
+	a, b := run(7), run(7)
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("same seed, different record counts")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+// TestMonitorMatchesProfile cross-checks the time-driven monitor against
+// the one-shot Profile on a real workload trace: both must agree on which
+// pages are the hottest (rank agreement, not exact counts — the sampling
+// noise models differ).
+func TestMonitorMatchesProfile(t *testing.T) {
+	cfg := DefaultConfig()
+	spec := workload.ByNameMust("json_load_dump")
+	layout, err := spec.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := spec.Trace(workload.II, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := access.NewHistogram()
+	truth.AddTrace(tr)
+
+	oneshot := cfg.Profile(truth, layout.TotalPages, 5).ToHistogram()
+	timeline := cfg.ProfileTimeline(tr, layout.TotalPages, 40, 200, 5).ToHistogram()
+
+	// Agreement metric: of the pages the one-shot profiler scores in its
+	// top decile, the timeline monitor must score a large majority above
+	// its own median.
+	top := topDecile(oneshot)
+	med := medianCount(timeline)
+	agree, total := 0, 0
+	for _, p := range top {
+		total++
+		if timeline.Count(p) >= med {
+			agree++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no top-decile pages")
+	}
+	if frac := float64(agree) / float64(total); frac < 0.7 {
+		t.Errorf("hot-page agreement = %.2f, want >= 0.7", frac)
+	}
+}
+
+func topDecile(h *access.Histogram) []guest.PageID {
+	pcs := h.Sorted()
+	if len(pcs) == 0 {
+		return nil
+	}
+	// Sort by count descending.
+	sorted := append([]access.PageCount(nil), pcs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Count > sorted[j-1].Count; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	n := len(sorted) / 10
+	if n == 0 {
+		n = 1
+	}
+	out := make([]guest.PageID, 0, n)
+	for _, pc := range sorted[:n] {
+		out = append(out, pc.Page)
+	}
+	return out
+}
+
+func medianCount(h *access.Histogram) int64 {
+	pcs := h.Sorted()
+	if len(pcs) == 0 {
+		return 0
+	}
+	counts := make([]int64, len(pcs))
+	for i, pc := range pcs {
+		counts[i] = pc.Count
+	}
+	for i := 1; i < len(counts); i++ {
+		for j := i; j > 0 && counts[j] < counts[j-1]; j-- {
+			counts[j], counts[j-1] = counts[j-1], counts[j]
+		}
+	}
+	return counts[len(counts)/2]
+}

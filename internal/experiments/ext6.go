@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"toss/internal/reap"
+	"toss/internal/stats"
+	"toss/internal/workload"
+)
+
+// ExtFaaSnapInflation quantifies §III-C's mincore critique: FaaSnap's
+// working sets are inflated by host readahead, so its setup prefetches more
+// than REAP's for the same snapshot input, buying slightly fewer residual
+// faults. TOSS sidesteps the trade entirely with graded DAMON profiles.
+func ExtFaaSnapInflation(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:    "ext6",
+		Title: "FaaSnap's mincore inflation vs REAP's uffd working sets (§III-C)",
+		Header: []string{"function", "uffd WS (MB)", "mincore WS (MB)", "inflation",
+			"reap setup (ms)", "faasnap setup (ms)", "reap faults", "faasnap faults"},
+	}
+	var inflations []float64
+	for _, spec := range workload.Registry() {
+		rm, err := reap.NewManager(s.Core.VM, spec)
+		if err != nil {
+			return nil, err
+		}
+		fm, err := reap.NewFaaSnapManager(s.Core.VM, spec)
+		if err != nil {
+			return nil, err
+		}
+		// Snapshot input II, execution input III: a realistic mismatch.
+		if _, err := rm.Invoke(workload.II, s.BaseSeed, 1); err != nil {
+			return nil, err
+		}
+		if _, err := fm.Invoke(workload.II, s.BaseSeed, 1); err != nil {
+			return nil, err
+		}
+		rRes, err := rm.Invoke(workload.III, s.BaseSeed+5, 1)
+		if err != nil {
+			return nil, err
+		}
+		fRes, err := fm.Invoke(workload.III, s.BaseSeed+5, 1)
+		if err != nil {
+			return nil, err
+		}
+		inflation := fm.InflationFactor(rm.WorkingSetPages())
+		inflations = append(inflations, inflation)
+		t.AddRow(spec.Name,
+			pageMB(rm.WorkingSetPages()), pageMB(fm.WorkingSetPages()),
+			fmt.Sprintf("%.2fx", inflation),
+			fmt.Sprintf("%.1f", rRes.Setup.Milliseconds()),
+			fmt.Sprintf("%.1f", fRes.Setup.Milliseconds()),
+			rRes.MajorFaults, fRes.MajorFaults)
+	}
+	t.AddNote("average mincore inflation: %.2fx — prefetched-but-untouched pages billed as working set (§III-C)", stats.Mean(inflations))
+	t.AddNote("inflation is per touched run (readahead overshoot), so these coarse-grained traces inflate mildly; scattered small-object heaps inflate far more")
+	t.AddNote("FaaSnap never faults more than REAP but always prefetches at least as much")
+	return t, nil
+}
+
+// faaSnapSanity is referenced by tests to assert the invariant the note
+// claims: the mincore WS always covers the uffd WS.
+func faaSnapSanity(s *Suite, fn string) (bool, error) {
+	spec := workload.ByNameMust(fn)
+	rm, err := reap.NewManager(s.Core.VM, spec)
+	if err != nil {
+		return false, err
+	}
+	fm, err := reap.NewFaaSnapManager(s.Core.VM, spec)
+	if err != nil {
+		return false, err
+	}
+	if _, err := rm.Invoke(workload.II, s.BaseSeed, 1); err != nil {
+		return false, err
+	}
+	if _, err := fm.Invoke(workload.II, s.BaseSeed, 1); err != nil {
+		return false, err
+	}
+	layout, err := spec.Layout()
+	if err != nil {
+		return false, err
+	}
+	covered := make([]bool, layout.TotalPages)
+	for _, r := range fm.WorkingSet() {
+		for p := r.Start; p < r.End(); p++ {
+			covered[p] = true
+		}
+	}
+	for _, r := range rm.WorkingSet() {
+		for p := r.Start; p < r.End(); p++ {
+			if !covered[p] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"toss/internal/damon"
+	"toss/internal/guest"
+	"toss/internal/mem"
+	"toss/internal/microvm"
+	"toss/internal/reap"
+	"toss/internal/stats"
+	"toss/internal/workload"
+	"toss/internal/wstrack"
+)
+
+// Table1Inventory reproduces Table I: the functions, their memory
+// configurations, input types, and inputs.
+func Table1Inventory(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Functions, memory configurations and inputs (Table I)",
+		Header: []string{"name", "description", "memory", "input type", "inputs I..IV"},
+	}
+	for _, spec := range workload.Registry() {
+		t.AddRow(spec.Name, spec.Description,
+			fmt.Sprintf("%d MB", spec.MemBytes>>20),
+			spec.InputType,
+			fmt.Sprintf("%s | %s | %s | %s",
+				spec.InputLabels[0], spec.InputLabels[1], spec.InputLabels[2], spec.InputLabels[3]))
+	}
+	return t, nil
+}
+
+// fig1Function is the workload Fig. 1 characterizes.
+const fig1Function = "json_load_dump"
+
+// Fig1WorkingSetCharacterization reproduces Fig. 1: how userfaultfd's binary
+// working set compares with DAMON's graded view, per input. The paper's
+// observations — access counts grow with the input, and each input produces
+// a significantly different pattern — appear as growing footprints, growing
+// max counts, and distinct region structure.
+func Fig1WorkingSetCharacterization(s *Suite) (*Table, error) {
+	spec, ok := workload.ByName(fig1Function)
+	if !ok {
+		return nil, fmt.Errorf("fig1: unknown function %s", fig1Function)
+	}
+	layout, err := spec.Layout()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig1",
+		Title: "Working set characterization: userfaultfd vs DAMON (" + fig1Function + ")",
+		Header: []string{"input", "uffd WS (MB)", "mincore WS (MB)", "damon regions",
+			"mean acc/page", "max acc/page", "count buckets"},
+	}
+	for _, lv := range AllLevels {
+		tr, err := spec.Trace(lv, s.BaseSeed)
+		if err != nil {
+			return nil, err
+		}
+		vm := microvm.NewBooted(s.Core.VM, layout)
+		res, err := vm.Run(tr)
+		if err != nil {
+			return nil, err
+		}
+		uffdPages := wstrack.WorkingSetPages(tr)
+		mincorePages := guest.TotalPages(wstrack.WorkingSetMincore(tr, 16, layout.TotalPages))
+		pattern := s.Core.Damon.Profile(res.Truth, layout.TotalPages, s.BaseSeed)
+		var maxCount, sumCount, pages int64
+		buckets := map[int]bool{}
+		for _, rec := range pattern.Records {
+			if rec.NrAccesses > maxCount {
+				maxCount = rec.NrAccesses
+			}
+			sumCount += rec.NrAccesses * rec.Region.Pages
+			pages += rec.Region.Pages
+			buckets[damon.Bucket(rec.NrAccesses)] = true
+		}
+		mean := int64(0)
+		if pages > 0 {
+			mean = sumCount / pages
+		}
+		t.AddRow(lv, pageMB(uffdPages), pageMB(mincorePages),
+			len(pattern.Records), mean, maxCount, len(buckets))
+	}
+	t.AddNote("uffd reports a binary touched-set; DAMON grades the same pages into distinct access-count buckets (Obs. #4)")
+	t.AddNote("mincore inflates the working set via host readahead (§III-C)")
+	return t, nil
+}
+
+func pageMB(pages int64) string {
+	return fmt.Sprintf("%.1f", float64(pages*guest.PageSize)/(1<<20))
+}
+
+// Fig2FullSlowTierSlowdown reproduces Fig. 2: the normalized slowdown of
+// running each function fully in the slow tier, per input, averaged over
+// iterations.
+func Fig2FullSlowTierSlowdown(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig2",
+		Title:  "Normalized slowdown fully offloaded to the slow tier (Fig. 2)",
+		Header: []string{"function", "input I", "input II", "input III", "input IV"},
+	}
+	var all []float64
+	for _, spec := range workload.Registry() {
+		layout, err := spec.Layout()
+		if err != nil {
+			return nil, err
+		}
+		row := []any{spec.Name}
+		for _, lv := range AllLevels {
+			fast, err := s.meanExecResident(spec, lv, s.BaseSeed, mem.AllFast(), 1)
+			if err != nil {
+				return nil, err
+			}
+			slow, err := s.meanExecResident(spec, lv, s.BaseSeed, mem.AllSlow(layout.TotalPages), 1)
+			if err != nil {
+				return nil, err
+			}
+			sd := slow / fast
+			all = append(all, sd)
+			row = append(row, sd)
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("mean over all functions/inputs: %.2fx; max: %.2fx", stats.Mean(all), stats.Max(all))
+	t.AddNote("compute-bound functions run in the slow tier nearly for free (Obs. #1); others vary with input (Obs. #2)")
+	return t, nil
+}
+
+// Fig3ReapInputMismatch reproduces Fig. 3: REAP's invocation time when the
+// snapshot input differs from the execution input, normalized to the
+// matched-input case. For each execution input we report the mean and max
+// over all snapshot inputs.
+func Fig3ReapInputMismatch(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig3",
+		Title:  "REAP slowdown of mismatched snapshot inputs per execution input (Fig. 3)",
+		Header: []string{"function", "exec input", "mean norm", "max norm"},
+	}
+	var overall []float64
+	var overallMax float64
+	for _, spec := range workload.Registry() {
+		// One REAP manager per snapshot input.
+		managers := make(map[workload.Level]*reap.Manager)
+		for _, snapLv := range AllLevels {
+			m, err := reap.NewManager(s.Core.VM, spec)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := m.Invoke(snapLv, s.BaseSeed, 1); err != nil {
+				return nil, err
+			}
+			managers[snapLv] = m
+		}
+		for _, execLv := range AllLevels {
+			// Matched baseline: snapshot input == execution input.
+			base, err := reapMeanInvocation(s, managers[execLv], execLv)
+			if err != nil {
+				return nil, err
+			}
+			var norms []float64
+			for _, snapLv := range AllLevels {
+				inv, err := reapMeanInvocation(s, managers[snapLv], execLv)
+				if err != nil {
+					return nil, err
+				}
+				norms = append(norms, inv/base)
+			}
+			mean, max := stats.Mean(norms), stats.Max(norms)
+			overall = append(overall, norms...)
+			if max > overallMax {
+				overallMax = max
+			}
+			t.AddRow(spec.Name, execLv, mean, max)
+		}
+	}
+	t.AddNote("average slowdown over all cases: %.0f%%; worst case: %.2fx (paper: 26%% avg, up to 3.47x)",
+		(stats.Mean(overall)-1)*100, overallMax)
+	return t, nil
+}
+
+// reapMeanInvocation averages REAP's total invocation time (setup + exec)
+// over the suite's iterations with distinct seeds.
+func reapMeanInvocation(s *Suite, m *reap.Manager, lv workload.Level) (float64, error) {
+	var sum float64
+	for it := 0; it < s.Iterations; it++ {
+		res, err := m.Invoke(lv, s.BaseSeed+int64(it)*31+7, 1)
+		if err != nil {
+			return 0, err
+		}
+		sum += float64(res.Total())
+	}
+	return sum / float64(s.Iterations), nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"toss/internal/guest"
+	"toss/internal/mem"
+	"toss/internal/stats"
+	"toss/internal/workload"
+)
+
+// Fig5MinimumMemoryCost reproduces Fig. 5: each function's minimum
+// normalized memory cost and the slowdown it carries, using the snapshot
+// generated from all inputs and evaluating with input IV. The optimal cost
+// under the 2.5x cost ratio is 0.4; DRAM-only is 1.0.
+func Fig5MinimumMemoryCost(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Minimum normalized memory cost and slowdown, input IV, all-inputs snapshot (Fig. 5)",
+		Header: []string{"function", "norm cost", "slowdown %", "optimal", "dram"},
+	}
+	var costs, sdowns []float64
+	under10 := 0
+	for _, spec := range workload.Registry() {
+		b, err := s.buildFor(spec, AllLevels)
+		if err != nil {
+			return nil, err
+		}
+		cost := b.analysis.MinCost()
+		sd := (b.analysis.MinCostSlowdown() - 1) * 100
+		costs = append(costs, cost)
+		sdowns = append(sdowns, sd)
+		if sd < 10 {
+			under10++
+		}
+		t.AddRow(spec.Name, cost, fmt.Sprintf("%.1f", sd), s.Core.Cost.Optimal(), 1.0)
+	}
+	t.AddNote("cost: avg %.2f, range [%.2f, %.2f] (paper: avg 0.48, range 0.4-0.87)",
+		stats.Mean(costs), stats.Min(costs), stats.Max(costs))
+	t.AddNote("slowdown: avg %.1f%%, range [%.1f%%, %.1f%%] (paper: avg 6.7%%, 0-25.6%%)",
+		stats.Mean(sdowns), stats.Min(sdowns), stats.Max(sdowns))
+	t.AddNote("%d/10 functions stay under 10%% slowdown (paper: 7/10)", under10)
+	return t, nil
+}
+
+// Table2SlowTierShare reproduces Table II: the share of guest memory each
+// function offloads to the slow tier at the minimum-cost configuration.
+func Table2SlowTierShare(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Memory offloaded to the slow tier at minimum cost (Table II)",
+		Header: []string{"function", "slow tier %"},
+	}
+	var shares []float64
+	for _, spec := range workload.Registry() {
+		b, err := s.buildFor(spec, AllLevels)
+		if err != nil {
+			return nil, err
+		}
+		share := b.analysis.SlowShare() * 100
+		shares = append(shares, share)
+		t.AddRow(spec.Name, fmt.Sprintf("%.1f%%", share))
+	}
+	t.AddNote("average offloaded: %.0f%% (paper: 92%%; pagerank lowest at 49.1%%)", stats.Mean(shares))
+	return t, nil
+}
+
+// fig6Functions returns the five functions with the worst full-slow
+// slowdown (the paper's Fig. 6 selection criterion), using the all-inputs
+// analyses.
+func fig6Functions(s *Suite) ([]*workload.Spec, error) {
+	type ranked struct {
+		spec *workload.Spec
+		sd   float64
+	}
+	var rs []ranked
+	for _, spec := range workload.Registry() {
+		b, err := s.buildFor(spec, AllLevels)
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, ranked{spec, b.analysis.FullSlowSlowdown})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].sd > rs[j].sd })
+	out := make([]*workload.Spec, 0, 5)
+	for _, r := range rs[:5] {
+		out = append(out, r.spec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Fig6IncrementalBinOffload reproduces Fig. 6: for the five functions with
+// the worst slowdown, how incrementally offloading bins (sorted by memory
+// cost efficiency) moves slowdown and memory cost, for every input.
+func Fig6IncrementalBinOffload(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Slowdown vs memory cost per offloaded bin, bins sorted by cost efficiency (Fig. 6)",
+		Header: []string{"function", "input", "bins offloaded", "slowdown", "norm cost"},
+	}
+	specs, err := fig6Functions(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range specs {
+		b, err := s.buildFor(spec, AllLevels)
+		if err != nil {
+			return nil, err
+		}
+		a := b.analysis
+		for _, lv := range AllLevels {
+			// Per-input baseline: only zero pages offloaded.
+			baseline, err := s.execResident(spec, lv, s.BaseSeed+5,
+				mem.NewPlacement(a.ZeroSlow), 1)
+			if err != nil {
+				return nil, err
+			}
+			cumulative := append([]guest.Region{}, a.ZeroSlow...)
+			slowPages := a.ZeroSlowPages
+			for k := 1; k <= len(a.Bins); k++ {
+				cumulative = append(cumulative, a.Bins[k-1].Regions...)
+				slowPages += a.Bins[k-1].Pages
+				exec, err := s.execResident(spec, lv, s.BaseSeed+5,
+					mem.NewPlacement(cumulative), 1)
+				if err != nil {
+					return nil, err
+				}
+				sd := float64(exec) / float64(baseline)
+				if sd < 1 {
+					sd = 1
+				}
+				cost := s.Core.Cost.Normalized(sd, slowPages, a.GuestPages)
+				t.AddRow(spec.Name, lv, k, sd, cost)
+			}
+		}
+	}
+	t.AddNote("larger inputs accumulate more slowdown, confirming the largest-input choice for bin profiling (§VI-C2)")
+	t.AddNote("the largest input's memory cost upper-bounds the smaller inputs' costs")
+	return t, nil
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+
+	"toss/internal/mem"
+	"toss/internal/microvm"
+	"toss/internal/reap"
+	"toss/internal/simtime"
+	"toss/internal/stats"
+	"toss/internal/workload"
+)
+
+// dramInvocation measures the DRAM baseline the paper normalizes against:
+// the function running fully resident in DRAM (the Fig. 2 DRAM case) with
+// only the constant VM-load/mmap restore cost as setup. This is the ideal
+// single-tier invocation — both TOSS and REAP pay extra relative to it
+// (demand faults, prefetch time, slow-tier latency).
+func (s *Suite) dramInvocation(spec *workload.Spec, execLv workload.Level, seed int64, conc int) (setup, exec simtime.Duration, err error) {
+	layout, err := spec.Layout()
+	if err != nil {
+		return 0, 0, err
+	}
+	tr, err := spec.Trace(execLv, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	vm := microvm.NewResident(s.Core.VM, layout, mem.AllFast(), conc)
+	vm.SetRecordTruth(false)
+	res, err := vm.Run(tr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.Core.VM.VMLoadBase + s.Core.VM.MmapCost, res.Exec, nil
+}
+
+// Fig7SetupTime reproduces Fig. 7: setup time of REAP (min/avg/max over
+// snapshot inputs) and TOSS, normalized to the DRAM lazy-restore setup.
+func Fig7SetupTime(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Setup time normalized to DRAM snapshot setup (Fig. 7)",
+		Header: []string{"function", "dram (ms)", "toss", "reap min", "reap avg", "reap max"},
+	}
+	var worstRatio float64
+	for _, spec := range workload.Registry() {
+		b, err := s.buildFor(spec, AllLevels)
+		if err != nil {
+			return nil, err
+		}
+		layout, err := spec.Layout()
+		if err != nil {
+			return nil, err
+		}
+		dram := float64(s.Core.VM.VMLoadBase + s.Core.VM.MmapCost)
+		tossSetup := float64(microvm.RestoreTiered(s.Core.VM, layout, b.tiered, 1).SetupTime())
+
+		var reapSetups []float64
+		for _, snapLv := range AllLevels {
+			m, err := reap.NewManager(s.Core.VM, spec)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := m.Invoke(snapLv, s.BaseSeed, 1); err != nil {
+				return nil, err
+			}
+			res, err := m.Invoke(snapLv, s.BaseSeed+1, 1)
+			if err != nil {
+				return nil, err
+			}
+			reapSetups = append(reapSetups, float64(res.Setup))
+		}
+		if r := stats.Max(reapSetups) / tossSetup; r > worstRatio {
+			worstRatio = r
+		}
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%.2f", dram/1e6),
+			tossSetup/dram,
+			stats.Min(reapSetups)/dram,
+			stats.Mean(reapSetups)/dram,
+			stats.Max(reapSetups)/dram)
+	}
+	t.AddNote("TOSS setup is constant per function (one mmap per layout region)")
+	t.AddNote("REAP setup grows with the recorded WS; worst REAP/TOSS ratio: %.0fx (paper: up to 52x)", worstRatio)
+	return t, nil
+}
+
+// Fig8InvocationTime reproduces Fig. 8: total invocation time (setup +
+// execution) for TOSS (tiered snapshot, each exec input) and REAP (all
+// snapshot x exec input combos), normalized to the matched DRAM invocation.
+func Fig8InvocationTime(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "Total invocation time normalized to DRAM invocation (Fig. 8)",
+		Header: []string{"function", "toss mean", "toss max", "reap mean", "reap max"},
+	}
+	var tossAll, reapAll []float64
+	for _, spec := range workload.Registry() {
+		b, err := s.buildFor(spec, AllLevels)
+		if err != nil {
+			return nil, err
+		}
+		layout, err := spec.Layout()
+		if err != nil {
+			return nil, err
+		}
+		// DRAM baseline per exec input (matched snapshot).
+		dram := map[workload.Level]float64{}
+		for _, lv := range AllLevels {
+			var sum float64
+			for it := 0; it < s.Iterations; it++ {
+				setup, exec, err := s.dramInvocation(spec, lv, s.BaseSeed+int64(it)*31+3, 1)
+				if err != nil {
+					return nil, err
+				}
+				sum += float64(setup + exec)
+			}
+			dram[lv] = sum / float64(s.Iterations)
+		}
+
+		// TOSS: tiered snapshot, each exec input.
+		var tossNorms []float64
+		for _, lv := range AllLevels {
+			var sum float64
+			for it := 0; it < s.Iterations; it++ {
+				tr, err := spec.Trace(lv, s.BaseSeed+int64(it)*31+3)
+				if err != nil {
+					return nil, err
+				}
+				vm := microvm.RestoreTiered(s.Core.VM, layout, b.tiered, 1)
+				vm.SetRecordTruth(false)
+				res, err := vm.Run(tr)
+				if err != nil {
+					return nil, err
+				}
+				sum += float64(res.Total())
+			}
+			tossNorms = append(tossNorms, sum/float64(s.Iterations)/dram[lv])
+		}
+
+		// REAP: every snapshot x exec combo.
+		var reapNorms []float64
+		for _, snapLv := range AllLevels {
+			m, err := reap.NewManager(s.Core.VM, spec)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := m.Invoke(snapLv, s.BaseSeed, 1); err != nil {
+				return nil, err
+			}
+			for _, execLv := range AllLevels {
+				inv, err := reapMeanInvocation(s, m, execLv)
+				if err != nil {
+					return nil, err
+				}
+				reapNorms = append(reapNorms, inv/dram[execLv])
+			}
+		}
+		tossAll = append(tossAll, tossNorms...)
+		reapAll = append(reapAll, reapNorms...)
+		t.AddRow(spec.Name, stats.Mean(tossNorms), stats.Max(tossNorms),
+			stats.Mean(reapNorms), stats.Max(reapNorms))
+	}
+	t.AddNote("TOSS: %.2fx avg, %.2fx max (paper: 1.78x avg, up to 3.8x)",
+		stats.Mean(tossAll), stats.Max(tossAll))
+	t.AddNote("REAP: %.2fx avg, %.2fx max (paper: 2.5x avg, up to 13x)",
+		stats.Mean(reapAll), stats.Max(reapAll))
+	return t, nil
+}
+
+// fig9Concurrency are the paper's concurrency levels (20 cores, no HT).
+var fig9Concurrency = []int{1, 5, 10, 20}
+
+// Fig9Scalability reproduces Fig. 9: execution-time slowdown at 1/5/10/20
+// concurrent invocations of input IV, normalized to the DRAM execution at
+// the same concurrency, for TOSS, REAP Best (matched snapshot input) and
+// REAP Worst (snapshot input I).
+func Fig9Scalability(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Execution slowdown under concurrency, input IV, normalized to DRAM (Fig. 9)",
+		Header: []string{"function", "conc", "toss", "reap best", "reap worst"},
+	}
+	var toss20, worst20 []float64
+	var worstMax float64
+	for _, spec := range workload.Registry() {
+		b, err := s.buildFor(spec, AllLevels)
+		if err != nil {
+			return nil, err
+		}
+		layout, err := spec.Layout()
+		if err != nil {
+			return nil, err
+		}
+		// Working sets for REAP Best (input IV) and Worst (input I).
+		mBest, err := reap.NewManager(s.Core.VM, spec)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := mBest.Invoke(workload.IV, s.BaseSeed, 1); err != nil {
+			return nil, err
+		}
+		mWorst, err := reap.NewManager(s.Core.VM, spec)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := mWorst.Invoke(workload.I, s.BaseSeed, 1); err != nil {
+			return nil, err
+		}
+
+		for _, conc := range fig9Concurrency {
+			seed := s.BaseSeed + int64(conc)*101
+			tr, err := spec.Trace(workload.IV, seed)
+			if err != nil {
+				return nil, err
+			}
+			runExec := func(vm *microvm.Machine) (float64, error) {
+				vm.SetRecordTruth(false)
+				res, err := vm.Run(tr)
+				if err != nil {
+					return 0, err
+				}
+				return float64(res.Exec), nil
+			}
+			_, dramExecD, err := s.dramInvocation(spec, workload.IV, seed, conc)
+			if err != nil {
+				return nil, err
+			}
+			dramExec := float64(dramExecD)
+			tossExec, err := runExec(microvm.RestoreTiered(s.Core.VM, layout, b.tiered, conc))
+			if err != nil {
+				return nil, err
+			}
+			bestExec, err := runExec(microvm.RestoreREAP(s.Core.VM, mBest.Layout(), mBest.Snapshot(), mBest.WorkingSet(), conc))
+			if err != nil {
+				return nil, err
+			}
+			worstExec, err := runExec(microvm.RestoreREAP(s.Core.VM, mWorst.Layout(), mWorst.Snapshot(), mWorst.WorkingSet(), conc))
+			if err != nil {
+				return nil, err
+			}
+			tossN, bestN, worstN := tossExec/dramExec, bestExec/dramExec, worstExec/dramExec
+			if conc == 20 {
+				toss20 = append(toss20, tossN)
+				worst20 = append(worst20, worstN)
+				if worstN > worstMax {
+					worstMax = worstN
+				}
+			}
+			t.AddRow(spec.Name, conc, tossN, bestN, worstN)
+		}
+	}
+	t.AddNote("at 20 concurrent: TOSS %.2fx avg (paper: 1.95x, up to 4.2x); REAP Worst %.2fx avg, %.2fx max (paper: 3.79x avg, up to 19x)",
+		stats.Mean(toss20), stats.Mean(worst20), worstMax)
+	return t, nil
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"testing"
+
+	"toss/internal/workload"
+)
+
+// BenchmarkBuildPagerank measures the full TOSS pipeline for the heaviest
+// function; it is the suite's dominant cost and the target of the dense-
+// histogram and region-normalization optimizations.
+func BenchmarkBuildPagerank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSuite()
+		s.Iterations = 1
+		spec, _ := workload.ByName("pagerank")
+		if _, err := s.buildFor(spec, AllLevels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

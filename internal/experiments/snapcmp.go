@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"math"
+
+	"toss/internal/guest"
+	"toss/internal/mem"
+	"toss/internal/stats"
+	"toss/internal/workload"
+)
+
+// inputCost evaluates, for one execution input, the normalized memory cost
+// a given placement yields: measure the input's slowdown under the
+// placement relative to all-DRAM, then apply Eq. 1.
+func (s *Suite) inputCost(spec *workload.Spec, lv workload.Level, placement *mem.Placement, guestPages int64) (float64, float64, error) {
+	fast, err := s.meanExecResident(spec, lv, s.BaseSeed+17, mem.AllFast(), 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	tiered, err := s.meanExecResident(spec, lv, s.BaseSeed+17, placement, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	sd := tiered / fast
+	if sd < 1 {
+		sd = 1
+	}
+	return s.Core.Cost.Normalized(sd, placement.SlowPages(), guestPages), sd, nil
+}
+
+// SnapshotCostVariance reproduces §VI-C3 ("Input IV vs. All Inputs"): how
+// much the per-input memory cost differs between the tiered snapshot built
+// from input-IV-only profiling and the one built from all inputs.
+func SnapshotCostVariance(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "sec6c3a",
+		Title:  "Memory cost variance: input-IV snapshot vs all-inputs snapshot (§VI-C3)",
+		Header: []string{"function", "input", "cost (all)", "cost (IV)", "variance %"},
+	}
+	var variances, variancesFiltered []float64
+	for _, spec := range workload.Registry() {
+		all, err := s.buildFor(spec, AllLevels)
+		if err != nil {
+			return nil, err
+		}
+		ivOnly, err := s.buildFor(spec, LevelIVOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, lv := range AllLevels {
+			cAll, _, err := s.inputCost(spec, lv, all.analysis.Placement, all.analysis.GuestPages)
+			if err != nil {
+				return nil, err
+			}
+			cIV, _, err := s.inputCost(spec, lv, ivOnly.analysis.Placement, ivOnly.analysis.GuestPages)
+			if err != nil {
+				return nil, err
+			}
+			v := math.Abs(cAll-cIV) / ((cAll + cIV) / 2) * 100
+			variances = append(variances, v)
+			// The paper excludes very short invocations and pagerank from
+			// its filtered average.
+			if spec.Name != "pagerank" && !shortRunning(spec, lv) {
+				variancesFiltered = append(variancesFiltered, v)
+			}
+			t.AddRow(spec.Name, lv, cAll, cIV, v)
+		}
+	}
+	t.AddNote("average cost variance: %.1f%% (paper: 7.2%%)", stats.Mean(variances))
+	t.AddNote("excluding short-running invocations and pagerank: %.1f%% (paper: 2.4%%)",
+		stats.Mean(variancesFiltered))
+	return t, nil
+}
+
+// shortRunning mirrors the paper's "less than 10 ms" exclusion.
+func shortRunning(spec *workload.Spec, lv workload.Level) bool {
+	return (spec.Name == "float_operation" || spec.Name == "pyaes") && lv <= workload.II
+}
+
+// PlacementGeneralization reproduces §VI-C3 ("Input IV vs. Individual Input
+// Placement"): the cost of using the input-IV-optimized bin placement for
+// every input, versus re-optimizing the placement per input.
+func PlacementGeneralization(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "sec6c3b",
+		Title:  "Input-IV placement vs per-input optimal placement (§VI-C3)",
+		Header: []string{"function", "input", "cost (IV placement)", "cost (per-input opt)", "diff %"},
+	}
+	var diffs, diffsFiltered []float64
+	for _, spec := range workload.Registry() {
+		b, err := s.buildFor(spec, AllLevels)
+		if err != nil {
+			return nil, err
+		}
+		a := b.analysis
+		for _, lv := range AllLevels {
+			cIV, _, err := s.inputCost(spec, lv, a.Placement, a.GuestPages)
+			if err != nil {
+				return nil, err
+			}
+			// Per-input optimum: sweep the same bins in the same order,
+			// but score each configuration on this input.
+			fast, err := s.meanExecResident(spec, lv, s.BaseSeed+17, mem.AllFast(), 1)
+			if err != nil {
+				return nil, err
+			}
+			best := math.Inf(1)
+			cumulative := append([]guest.Region{}, a.ZeroSlow...)
+			slowPages := a.ZeroSlowPages
+			for k := 0; ; k++ {
+				placement := mem.NewPlacement(cumulative)
+				exec, err := s.meanExecResident(spec, lv, s.BaseSeed+17, placement, 1)
+				if err != nil {
+					return nil, err
+				}
+				sd := exec / fast
+				if sd < 1 {
+					sd = 1
+				}
+				if c := s.Core.Cost.Normalized(sd, slowPages, a.GuestPages); c < best {
+					best = c
+				}
+				if k == len(a.Bins) {
+					break
+				}
+				cumulative = append(cumulative, a.Bins[k].Regions...)
+				slowPages += a.Bins[k].Pages
+			}
+			d := (cIV - best) / best * 100
+			if d < 0 {
+				d = 0
+			}
+			diffs = append(diffs, d)
+			if !shortRunning(spec, lv) {
+				diffsFiltered = append(diffsFiltered, d)
+			}
+			t.AddRow(spec.Name, lv, cIV, best, d)
+		}
+	}
+	t.AddNote("average difference: %.1f%% (paper: 6.1%%)", stats.Mean(diffs))
+	t.AddNote("excluding short-running invocations: %.1f%% (paper: 3.3%%)", stats.Mean(diffsFiltered))
+	return t, nil
+}

@@ -1,0 +1,117 @@
+// Package fleet quantifies the paper's economic motivation at host
+// granularity: DRAM is 40-50% of server cost (§I, §III), so a platform that
+// keeps 92% of every warm VM in the cheap tier can hold far more warm VMs
+// per host — or buy far less DRAM per host — than a DRAM-only platform.
+// The packing model is deliberately simple (per-tier byte capacities,
+// first-fit-decreasing placement) because that is how serverless fleets
+// place memory-bound microVMs in practice.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HostSpec is one server's per-tier memory capacity.
+type HostSpec struct {
+	// FastBytes is the DRAM capacity.
+	FastBytes int64
+	// SlowBytes is the slow-tier capacity (0 for a DRAM-only host).
+	SlowBytes int64
+}
+
+// PaperHost returns the paper's platform: 96 GB DDR4 + 768 GB Optane PMem.
+func PaperHost() HostSpec {
+	return HostSpec{FastBytes: 96 << 30, SlowBytes: 768 << 30}
+}
+
+// DRAMOnlyHost returns the same server without the slow tier.
+func DRAMOnlyHost() HostSpec {
+	return HostSpec{FastBytes: 96 << 30}
+}
+
+// Validate checks the spec.
+func (h HostSpec) Validate() error {
+	if h.FastBytes <= 0 {
+		return fmt.Errorf("fleet: non-positive DRAM capacity")
+	}
+	if h.SlowBytes < 0 {
+		return fmt.Errorf("fleet: negative slow-tier capacity")
+	}
+	return nil
+}
+
+// VMFootprint is one warm microVM's resident memory per tier.
+type VMFootprint struct {
+	Function  string
+	FastBytes int64
+	SlowBytes int64
+}
+
+// Total returns the VM's total resident bytes.
+func (v VMFootprint) Total() int64 { return v.FastBytes + v.SlowBytes }
+
+// MaxResident returns how many copies of one VM the host can keep warm
+// simultaneously — the binding constraint is whichever tier fills first.
+func (h HostSpec) MaxResident(vm VMFootprint) int64 {
+	if vm.FastBytes <= 0 && vm.SlowBytes <= 0 {
+		return 0
+	}
+	limit := int64(1<<62 - 1)
+	if vm.FastBytes > 0 {
+		limit = h.FastBytes / vm.FastBytes
+	}
+	if vm.SlowBytes > 0 {
+		if s := h.SlowBytes / vm.SlowBytes; s < limit {
+			limit = s
+		}
+	}
+	return limit
+}
+
+// HostsNeeded packs a population of warm VMs onto identical hosts with
+// first-fit-decreasing (by total footprint) and returns the host count.
+func HostsNeeded(h HostSpec, vms []VMFootprint) (int, error) {
+	if err := h.Validate(); err != nil {
+		return 0, err
+	}
+	order := make([]int, len(vms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return vms[order[a]].Total() > vms[order[b]].Total()
+	})
+	type hostState struct{ fast, slow int64 }
+	var hosts []hostState
+	for _, idx := range order {
+		vm := vms[idx]
+		if vm.FastBytes > h.FastBytes || vm.SlowBytes > h.SlowBytes {
+			return 0, fmt.Errorf("fleet: VM %q (%d/%d B) does not fit any host", vm.Function, vm.FastBytes, vm.SlowBytes)
+		}
+		placed := false
+		for i := range hosts {
+			if hosts[i].fast+vm.FastBytes <= h.FastBytes && hosts[i].slow+vm.SlowBytes <= h.SlowBytes {
+				hosts[i].fast += vm.FastBytes
+				hosts[i].slow += vm.SlowBytes
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			hosts = append(hosts, hostState{vm.FastBytes, vm.SlowBytes})
+		}
+	}
+	return len(hosts), nil
+}
+
+// DensityGain returns how many times more copies of a VM a tiered host
+// holds versus a DRAM-only host, given the VM's tiered and DRAM-only
+// footprints.
+func DensityGain(tieredHost, dramHost HostSpec, tieredVM, dramVM VMFootprint) float64 {
+	dram := dramHost.MaxResident(dramVM)
+	if dram == 0 {
+		return 0
+	}
+	return float64(tieredHost.MaxResident(tieredVM)) / float64(dram)
+}

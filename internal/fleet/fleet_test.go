@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHostSpecs(t *testing.T) {
+	if err := PaperHost().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DRAMOnlyHost().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (HostSpec{FastBytes: 0}).Validate() == nil {
+		t.Error("zero DRAM accepted")
+	}
+	if (HostSpec{FastBytes: 1, SlowBytes: -1}).Validate() == nil {
+		t.Error("negative slow accepted")
+	}
+}
+
+func TestMaxResident(t *testing.T) {
+	h := HostSpec{FastBytes: 100, SlowBytes: 1000}
+	cases := []struct {
+		vm   VMFootprint
+		want int64
+	}{
+		{VMFootprint{FastBytes: 10, SlowBytes: 0}, 10},
+		{VMFootprint{FastBytes: 0, SlowBytes: 100}, 10},
+		{VMFootprint{FastBytes: 10, SlowBytes: 100}, 10},
+		{VMFootprint{FastBytes: 50, SlowBytes: 100}, 2}, // DRAM-bound
+		{VMFootprint{FastBytes: 10, SlowBytes: 500}, 2}, // slow-bound
+		{VMFootprint{FastBytes: 0, SlowBytes: 0}, 0},    // degenerate
+		{VMFootprint{FastBytes: 200, SlowBytes: 0}, 0},  // does not fit
+	}
+	for _, c := range cases {
+		if got := h.MaxResident(c.vm); got != c.want {
+			t.Errorf("MaxResident(%+v) = %d, want %d", c.vm, got, c.want)
+		}
+	}
+}
+
+func TestDensityGainPaperShape(t *testing.T) {
+	// A 1 GiB-guest function with 92% offloaded: tiered host holds many
+	// more copies than the DRAM-only host.
+	dramVM := VMFootprint{FastBytes: 1 << 30}
+	tieredVM := VMFootprint{FastBytes: 82 << 20, SlowBytes: 942 << 20}
+	gain := DensityGain(PaperHost(), DRAMOnlyHost(), tieredVM, dramVM)
+	// DRAM-only: 96 copies. Tiered: min(96G/82M=1198, 768G/942M=834) = 834.
+	if gain < 8 {
+		t.Errorf("density gain = %.1f, want >= 8 for a 92%%-offloaded VM", gain)
+	}
+	// Zero-capacity baseline guard.
+	if got := DensityGain(PaperHost(), HostSpec{FastBytes: 1}, tieredVM, dramVM); got != 0 {
+		t.Errorf("gain with unusable DRAM host = %v", got)
+	}
+}
+
+func TestHostsNeeded(t *testing.T) {
+	h := HostSpec{FastBytes: 100, SlowBytes: 100}
+	vms := []VMFootprint{
+		{Function: "a", FastBytes: 60, SlowBytes: 0},
+		{Function: "b", FastBytes: 60, SlowBytes: 0},
+		{Function: "c", FastBytes: 40, SlowBytes: 100},
+	}
+	n, err := HostsNeeded(h, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c (total 140) first -> host1 {40,100}; a (60) fits host1 fast -> {100,100};
+	// b (60) needs host2.
+	if n != 2 {
+		t.Errorf("HostsNeeded = %d, want 2", n)
+	}
+	if n, err := HostsNeeded(h, nil); err != nil || n != 0 {
+		t.Errorf("empty packing = %d, %v", n, err)
+	}
+}
+
+func TestHostsNeededRejectsOversized(t *testing.T) {
+	h := HostSpec{FastBytes: 10, SlowBytes: 10}
+	if _, err := HostsNeeded(h, []VMFootprint{{Function: "big", FastBytes: 20}}); err == nil {
+		t.Error("oversized VM accepted")
+	}
+	if _, err := HostsNeeded(HostSpec{}, nil); err == nil {
+		t.Error("invalid host accepted")
+	}
+}
+
+// Property: FFD packing never uses more hosts than VMs and respects both
+// tier capacities implicitly (verified by the lower bound: total bytes /
+// capacity, rounded up, never exceeds the packed host count).
+func TestHostsNeededBoundsProperty(t *testing.T) {
+	h := HostSpec{FastBytes: 1000, SlowBytes: 4000}
+	f := func(raw []uint16) bool {
+		var vms []VMFootprint
+		var totFast, totSlow int64
+		for _, x := range raw {
+			vm := VMFootprint{
+				FastBytes: int64(x%1000) + 1,
+				SlowBytes: int64(x) % 4000,
+			}
+			vms = append(vms, vm)
+			totFast += vm.FastBytes
+			totSlow += vm.SlowBytes
+		}
+		n, err := HostsNeeded(h, vms)
+		if err != nil {
+			return false
+		}
+		if n > len(vms) {
+			return false
+		}
+		lower := (totFast + h.FastBytes - 1) / h.FastBytes
+		if s := (totSlow + h.SlowBytes - 1) / h.SlowBytes; s > lower {
+			lower = s
+		}
+		return int64(n) >= lower
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

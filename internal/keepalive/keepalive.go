@@ -1,0 +1,214 @@
+// Package keepalive implements function keep-alive caching — the orthogonal
+// cold-start mechanism the paper positions TOSS alongside (§VI-A): "TOSS can
+// keep the VM alive on both tiers until evicted". The policy is the
+// greedy-dual keep-alive of FaasCache (Fuerst & Sharma, ASPLOS'21), extended
+// to be tier-aware: a warm TOSS VM occupies its fast and slow footprints in
+// separate capacity pools, and its eviction priority weighs the cold-start
+// time it saves against the *billed* memory it pins, using the paper's
+// per-tier prices.
+package keepalive
+
+import (
+	"fmt"
+
+	"toss/internal/costmodel"
+	"toss/internal/guest"
+	"toss/internal/simtime"
+)
+
+// Item is one warm (paused) VM kept alive.
+type Item struct {
+	Function string
+	// FastBytes and SlowBytes are the VM's per-tier resident sizes.
+	FastBytes int64
+	SlowBytes int64
+	// ColdStart is the setup time a hit saves.
+	ColdStart simtime.Duration
+	// freq counts hits since admission (greedy-dual frequency term).
+	freq int64
+	// priority is the greedy-dual keep-alive priority.
+	priority float64
+}
+
+// weightedSize returns the billed size of the item in fast-tier-equivalent
+// bytes: slow bytes are discounted by the tier cost ratio.
+func (it *Item) weightedSize(m costmodel.Model) float64 {
+	return float64(it.FastBytes) + float64(it.SlowBytes)*(m.CostSlow/m.CostFast)
+}
+
+// computePriority is the greedy-dual-size-frequency form used by FaasCache:
+// clock + freq * cost / size, with cost = saved cold-start nanoseconds and
+// size = billed bytes.
+func (it *Item) computePriority(clock float64, m costmodel.Model) float64 {
+	size := it.weightedSize(m)
+	if size <= 0 {
+		size = 1
+	}
+	return clock + float64(it.freq)*float64(it.ColdStart)/size
+}
+
+// Stats counts cache outcomes.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Rejected  int64
+}
+
+// HitRate returns hits / (hits + misses), 0 when empty.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache keeps warm VMs under per-tier capacity limits.
+type Cache struct {
+	fastCap, slowCap   int64
+	fastUsed, slowUsed int64
+	cost               costmodel.Model
+	clock              float64
+	items              map[string]*Item
+	stats              Stats
+}
+
+// New returns a cache with the given per-tier byte capacities.
+func New(fastCap, slowCap int64, cost costmodel.Model) (*Cache, error) {
+	if fastCap < 0 || slowCap < 0 {
+		return nil, fmt.Errorf("keepalive: negative capacity")
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{
+		fastCap: fastCap,
+		slowCap: slowCap,
+		cost:    cost,
+		items:   make(map[string]*Item),
+	}, nil
+}
+
+// Lookup reports whether a warm VM exists for the function, counting the
+// outcome and refreshing the item's priority on a hit.
+func (c *Cache) Lookup(fn string) bool {
+	it, ok := c.items[fn]
+	if !ok {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	it.freq++
+	it.priority = it.computePriority(c.clock, c.cost)
+	return true
+}
+
+// Contains reports presence without counting a lookup.
+func (c *Cache) Contains(fn string) bool {
+	_, ok := c.items[fn]
+	return ok
+}
+
+// Take removes and returns the warm VM for a hit that consumes it (the
+// invocation runs in the cached VM; re-admit it afterwards with Admit).
+// Take counts as a lookup for the hit/miss statistics.
+func (c *Cache) Take(fn string) (Item, bool) {
+	it, ok := c.items[fn]
+	if !ok {
+		c.stats.Misses++
+		return Item{}, false
+	}
+	c.stats.Hits++
+	it.freq++
+	c.remove(fn)
+	return *it, true
+}
+
+// Drop removes an item without counting a lookup (idle expiry, teardown).
+// It reports whether the item existed.
+func (c *Cache) Drop(fn string) bool {
+	if _, ok := c.items[fn]; !ok {
+		return false
+	}
+	c.remove(fn)
+	return true
+}
+
+// Admit inserts (or refreshes) a warm VM, evicting minimum-priority items
+// until it fits. It returns the evicted function names; admitted is false
+// when the item cannot fit even in an empty cache (it is then not kept).
+func (c *Cache) Admit(it Item) (evicted []string, admitted bool) {
+	if it.FastBytes > c.fastCap || it.SlowBytes > c.slowCap {
+		c.stats.Rejected++
+		return nil, false
+	}
+	if old, ok := c.items[it.Function]; ok {
+		it.freq = old.freq
+		c.remove(it.Function)
+	}
+	if it.freq == 0 {
+		it.freq = 1
+	}
+	for c.fastUsed+it.FastBytes > c.fastCap || c.slowUsed+it.SlowBytes > c.slowCap {
+		victim := c.minPriority()
+		if victim == "" {
+			c.stats.Rejected++
+			return evicted, false
+		}
+		// Greedy-dual: the clock advances to the evicted priority, aging
+		// the rest of the cache.
+		c.clock = c.items[victim].priority
+		c.remove(victim)
+		c.stats.Evictions++
+		evicted = append(evicted, victim)
+	}
+	copied := it
+	copied.priority = copied.computePriority(c.clock, c.cost)
+	c.items[it.Function] = &copied
+	c.fastUsed += it.FastBytes
+	c.slowUsed += it.SlowBytes
+	return evicted, true
+}
+
+// remove drops an item and releases its capacity.
+func (c *Cache) remove(fn string) {
+	it, ok := c.items[fn]
+	if !ok {
+		return
+	}
+	c.fastUsed -= it.FastBytes
+	c.slowUsed -= it.SlowBytes
+	delete(c.items, fn)
+}
+
+// minPriority returns the function with the lowest priority ("" if empty).
+func (c *Cache) minPriority() string {
+	best := ""
+	var bestP float64
+	for fn, it := range c.items {
+		if best == "" || it.priority < bestP {
+			best, bestP = fn, it.priority
+		}
+	}
+	return best
+}
+
+// Len returns the number of warm VMs.
+func (c *Cache) Len() int { return len(c.items) }
+
+// Occupancy returns the used bytes per tier.
+func (c *Cache) Occupancy() (fast, slow int64) { return c.fastUsed, c.slowUsed }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ItemFor builds a cache item from a tiered VM's footprint in pages.
+func ItemFor(fn string, fastPages, slowPages int64, coldStart simtime.Duration) Item {
+	return Item{
+		Function:  fn,
+		FastBytes: fastPages * guest.PageSize,
+		SlowBytes: slowPages * guest.PageSize,
+		ColdStart: coldStart,
+	}
+}

@@ -1,0 +1,328 @@
+// Package mem models a two-tier main memory: a small fast tier (DRAM in the
+// paper) and a large cheap slow tier (Intel Optane PMem in the paper; the
+// model works for CXL-attached DRAM or any technology with comparable
+// semantics, as the paper argues in §III).
+//
+// The model charges virtual time per cache-line touch, with costs that depend
+// on tier, stride pattern (sequential bursts are bandwidth-bound, random
+// bursts latency-bound), access kind (PMem stores are much more expensive
+// than loads), and the number of concurrent invocations sharing the tier
+// (bandwidth contention — the mechanism behind Fig. 9).
+package mem
+
+import (
+	"fmt"
+
+	"toss/internal/access"
+	"toss/internal/guest"
+	"toss/internal/simtime"
+)
+
+// Tier identifies one of the two memory tiers.
+type Tier uint8
+
+const (
+	// Fast is the expensive low-latency tier (DRAM).
+	Fast Tier = iota
+	// Slow is the cheap high-latency tier (PMem / CXL memory).
+	Slow
+)
+
+// String names the tier the way the paper does.
+func (t Tier) String() string {
+	switch t {
+	case Fast:
+		return "fast"
+	case Slow:
+		return "slow"
+	default:
+		return fmt.Sprintf("Tier(%d)", uint8(t))
+	}
+}
+
+// TierSpec gives one tier's per-line access costs and its sensitivity to
+// concurrent sharers.
+type TierSpec struct {
+	// ReadSeq is the per-line cost of a sequential (prefetched,
+	// bandwidth-bound) load burst.
+	ReadSeq simtime.Duration
+	// ReadRand is the per-line cost of a random (latency-bound) load.
+	ReadRand simtime.Duration
+	// WriteSeq is the per-line cost of a sequential store burst.
+	WriteSeq simtime.Duration
+	// WriteRand is the per-line cost of a random store.
+	WriteRand simtime.Duration
+	// ContentionBeta is the fractional latency increase added per
+	// additional concurrent invocation sharing the tier: the effective
+	// per-line cost at concurrency K is base*(1 + Beta*(K-1)).
+	ContentionBeta float64
+}
+
+// lineCost returns the uncontended per-line cost for a pattern/kind pair.
+func (s TierSpec) lineCost(p access.Pattern, k access.Kind) simtime.Duration {
+	switch {
+	case k == access.Read && p == access.Sequential:
+		return s.ReadSeq
+	case k == access.Read && p == access.Random:
+		return s.ReadRand
+	case k == access.Write && p == access.Sequential:
+		return s.WriteSeq
+	default:
+		return s.WriteRand
+	}
+}
+
+// Config holds the full memory-system model.
+type Config struct {
+	Fast TierSpec
+	Slow TierSpec
+	// CacheHit is the per-line cost of a touch served by the CPU caches,
+	// identical for both tiers.
+	CacheHit simtime.Duration
+}
+
+// DefaultConfig returns latencies calibrated to the paper's platform: DDR4
+// DRAM as the fast tier and Intel Optane DC PMem (Apache Pass) as the slow
+// tier. Values are per 64-byte line:
+//
+//   - DRAM: ~80 ns random load; streaming loads are prefetched down to a
+//     bandwidth-bound ~5 ns/line (~13 GB/s per core).
+//   - Optane: ~300 ns random load (~3.7x DRAM), ~15 ns/line streaming
+//     (~4.3 GB/s), and substantially costlier stores (write bandwidth is
+//     roughly a third of read bandwidth, random stores worse).
+//
+// ContentionBeta values make the slow tier and especially its write path
+// degrade under concurrency, matching the paper's scalability observations,
+// while DRAM stays nearly flat.
+func DefaultConfig() Config {
+	return Config{
+		CacheHit: 1 * simtime.Nanosecond,
+		Fast: TierSpec{
+			ReadSeq:        5 * simtime.Nanosecond,
+			ReadRand:       80 * simtime.Nanosecond,
+			WriteSeq:       6 * simtime.Nanosecond,
+			WriteRand:      90 * simtime.Nanosecond,
+			ContentionBeta: 0.004,
+		},
+		Slow: TierSpec{
+			ReadSeq:        15 * simtime.Nanosecond,
+			ReadRand:       300 * simtime.Nanosecond,
+			WriteSeq:       45 * simtime.Nanosecond,
+			WriteRand:      500 * simtime.Nanosecond,
+			ContentionBeta: 0.05,
+		},
+	}
+}
+
+// Spec returns the TierSpec for a tier.
+func (c Config) Spec(t Tier) TierSpec {
+	if t == Fast {
+		return c.Fast
+	}
+	return c.Slow
+}
+
+// ContentionFactor returns the latency multiplier a tier experiences when
+// shared by `concurrency` simultaneous invocations (>= 1).
+func (c Config) ContentionFactor(t Tier, concurrency int) float64 {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	return 1 + c.Spec(t).ContentionBeta*float64(concurrency-1)
+}
+
+// LineCost returns the effective per-line cost, in virtual nanoseconds, of a
+// miss that reaches the given tier with the given stride/kind under the
+// given concurrency level.
+func (c Config) LineCost(t Tier, p access.Pattern, k access.Kind, concurrency int) float64 {
+	base := float64(c.Spec(t).lineCost(p, k))
+	return base * c.ContentionFactor(t, concurrency)
+}
+
+// EventPageCost returns the virtual time charged for the line touches one
+// page receives from the event, given that page's tier. The mix is:
+//
+//	touches * (HitRatio*cacheHit + (1-HitRatio)*lineCost(tier)) + touches*CPUPerLine
+func (c Config) EventPageCost(e access.Event, t Tier, concurrency int) simtime.Duration {
+	touches := float64(e.TouchesPerPage())
+	miss := c.LineCost(t, e.Pattern, e.Kind, concurrency)
+	hit := float64(c.CacheHit)
+	memsvc := touches * (e.HitRatio*hit + (1-e.HitRatio)*miss)
+	cpu := touches * e.CPUPerLine
+	return simtime.Duration(memsvc + cpu + 0.5)
+}
+
+// Meter accumulates where an execution's time went, mirroring the perf
+// LLC-stall measurement the paper uses to rank memory intensity (§VI-C1).
+type Meter struct {
+	// CPUTime is time attributed to computation (and cache hits).
+	CPUTime simtime.Duration
+	// MemTime is time attributed to memory service, per tier.
+	MemTime [2]simtime.Duration
+	// LineTouches counts line touches routed to each tier.
+	LineTouches [2]int64
+}
+
+// Charge records an event's cost split for one page.
+func (m *Meter) Charge(c Config, e access.Event, t Tier, concurrency int) simtime.Duration {
+	touches := float64(e.TouchesPerPage())
+	miss := c.LineCost(t, e.Pattern, e.Kind, concurrency)
+	hit := float64(c.CacheHit)
+	memsvc := simtime.Duration(touches*(1-e.HitRatio)*miss + 0.5)
+	cpu := simtime.Duration(touches*(e.CPUPerLine+e.HitRatio*hit) + 0.5)
+	m.CPUTime += cpu
+	m.MemTime[t] += memsvc
+	m.LineTouches[t] += e.TouchesPerPage()
+	return cpu + memsvc
+}
+
+// ChargePages records the cost of an event hitting `pages` pages that all
+// reside in the same tier, in one step. Equivalent to calling Charge once
+// per page up to rounding.
+func (m *Meter) ChargePages(c Config, e access.Event, t Tier, concurrency int, pages int64) simtime.Duration {
+	if pages <= 0 {
+		return 0
+	}
+	touches := float64(e.TouchesPerPage()) * float64(pages)
+	miss := c.LineCost(t, e.Pattern, e.Kind, concurrency)
+	hit := float64(c.CacheHit)
+	memsvc := simtime.Duration(touches*(1-e.HitRatio)*miss + 0.5)
+	cpu := simtime.Duration(touches*(e.CPUPerLine+e.HitRatio*hit) + 0.5)
+	m.CPUTime += cpu
+	m.MemTime[t] += memsvc
+	m.LineTouches[t] += e.TouchesPerPage() * pages
+	return cpu + memsvc
+}
+
+// Total returns all time accumulated by the meter.
+func (m *Meter) Total() simtime.Duration {
+	return m.CPUTime + m.MemTime[Fast] + m.MemTime[Slow]
+}
+
+// StallFraction returns the fraction of total time spent waiting on memory —
+// the paper's proxy for memory intensiveness.
+func (m *Meter) StallFraction() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(m.MemTime[Fast]+m.MemTime[Slow]) / float64(total)
+}
+
+// Placement maps guest pages to tiers. Pages not covered by any entry
+// default to Fast, matching a freshly booted DRAM-only guest.
+type Placement struct {
+	// regions are sorted, non-overlapping runs with an assigned tier.
+	regions []placedRegion
+}
+
+type placedRegion struct {
+	region guest.Region
+	tier   Tier
+}
+
+// NewPlacement builds a placement from (region, tier) pairs. Regions must
+// not overlap; they are sorted internally.
+func NewPlacement(slowRegions []guest.Region) *Placement {
+	p := &Placement{}
+	for _, r := range guest.NormalizeRegions(slowRegions) {
+		p.regions = append(p.regions, placedRegion{r, Slow})
+	}
+	return p
+}
+
+// AllFast returns a placement with every page in the fast tier.
+func AllFast() *Placement { return &Placement{} }
+
+// AllSlow returns a placement with the region [0, pages) in the slow tier.
+func AllSlow(pages int64) *Placement {
+	return NewPlacement([]guest.Region{{Start: 0, Pages: pages}})
+}
+
+// TierOf returns the tier holding page p.
+func (pl *Placement) TierOf(p guest.PageID) Tier {
+	// Binary search over sorted slow regions.
+	lo, hi := 0, len(pl.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := pl.regions[mid].region
+		switch {
+		case p < r.Start:
+			hi = mid
+		case p >= r.End():
+			lo = mid + 1
+		default:
+			return pl.regions[mid].tier
+		}
+	}
+	return Fast
+}
+
+// Segment is a run of pages with a uniform tier.
+type Segment struct {
+	Region guest.Region
+	Tier   Tier
+}
+
+// Segments splits an arbitrary guest region into maximal sub-runs of uniform
+// tier, in address order. The microVM uses this to charge one event across a
+// tier boundary without per-page lookups.
+func (pl *Placement) Segments(r guest.Region) []Segment {
+	var out []Segment
+	cur := r
+	for !cur.Empty() {
+		t := pl.TierOf(cur.Start)
+		// Find where the tier changes: either the end of the slow region
+		// containing cur.Start, or the start of the next slow region.
+		end := cur.End()
+		for _, pr := range pl.regions {
+			if pr.region.Contains(cur.Start) {
+				if e := pr.region.End(); e < end {
+					end = e
+				}
+				break
+			}
+			if pr.region.Start > cur.Start {
+				if pr.region.Start < end {
+					end = pr.region.Start
+				}
+				break
+			}
+		}
+		seg := guest.Region{Start: cur.Start, Pages: int64(end - cur.Start)}
+		out = append(out, Segment{Region: seg, Tier: t})
+		cur = guest.Region{Start: end, Pages: int64(cur.End() - end)}
+	}
+	return out
+}
+
+// SlowRegions returns the regions assigned to the slow tier.
+func (pl *Placement) SlowRegions() []guest.Region {
+	out := make([]guest.Region, 0, len(pl.regions))
+	for _, pr := range pl.regions {
+		if pr.tier == Slow {
+			out = append(out, pr.region)
+		}
+	}
+	return out
+}
+
+// SlowPages returns the number of pages placed in the slow tier.
+func (pl *Placement) SlowPages() int64 {
+	var n int64
+	for _, pr := range pl.regions {
+		if pr.tier == Slow {
+			n += pr.region.Pages
+		}
+	}
+	return n
+}
+
+// SlowShare returns the fraction of a guest with totalPages pages that this
+// placement keeps in the slow tier.
+func (pl *Placement) SlowShare(totalPages int64) float64 {
+	if totalPages <= 0 {
+		return 0
+	}
+	return float64(pl.SlowPages()) / float64(totalPages)
+}

@@ -1,0 +1,223 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"toss/internal/access"
+	"toss/internal/guest"
+	"toss/internal/simtime"
+)
+
+func TestTierString(t *testing.T) {
+	if Fast.String() != "fast" || Slow.String() != "slow" {
+		t.Error("Tier.String wrong")
+	}
+	if Tier(7).String() == "" {
+		t.Error("unknown tier String empty")
+	}
+}
+
+func TestDefaultConfigOrdering(t *testing.T) {
+	c := DefaultConfig()
+	// Slow tier must be slower than fast for every pattern/kind.
+	for _, p := range []access.Pattern{access.Sequential, access.Random} {
+		for _, k := range []access.Kind{access.Read, access.Write} {
+			f := c.LineCost(Fast, p, k, 1)
+			s := c.LineCost(Slow, p, k, 1)
+			if s <= f {
+				t.Errorf("slow %v/%v cost %v not > fast %v", p, k, s, f)
+			}
+		}
+	}
+	// Random must cost more than sequential within a tier.
+	for _, tier := range []Tier{Fast, Slow} {
+		if c.LineCost(tier, access.Random, access.Read, 1) <= c.LineCost(tier, access.Sequential, access.Read, 1) {
+			t.Errorf("%v: random read not costlier than sequential", tier)
+		}
+	}
+	// Cache hits are cheaper than any memory access.
+	if float64(c.CacheHit) >= c.LineCost(Fast, access.Sequential, access.Read, 1) {
+		t.Error("cache hit not cheaper than fastest memory access")
+	}
+}
+
+func TestContentionFactor(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.ContentionFactor(Slow, 1); got != 1 {
+		t.Errorf("ContentionFactor(slow,1) = %v, want 1", got)
+	}
+	if got := c.ContentionFactor(Slow, 0); got != 1 {
+		t.Errorf("ContentionFactor(slow,0) = %v, want 1 (clamped)", got)
+	}
+	f5 := c.ContentionFactor(Slow, 5)
+	f20 := c.ContentionFactor(Slow, 20)
+	if !(f20 > f5 && f5 > 1) {
+		t.Errorf("slow contention not increasing: f5=%v f20=%v", f5, f20)
+	}
+	// DRAM contention must be much milder than PMem contention.
+	if c.ContentionFactor(Fast, 20) >= c.ContentionFactor(Slow, 20) {
+		t.Error("fast tier contends as much as slow tier")
+	}
+}
+
+func TestEventPageCostTierSensitivity(t *testing.T) {
+	c := DefaultConfig()
+	e := access.Event{
+		Region:       guest.Region{Start: 0, Pages: 1},
+		LinesPerPage: 64,
+		Repeat:       100,
+		Kind:         access.Read,
+		Pattern:      access.Random,
+		HitRatio:     0,
+	}
+	fast := c.EventPageCost(e, Fast, 1)
+	slow := c.EventPageCost(e, Slow, 1)
+	ratio := float64(slow) / float64(fast)
+	if ratio < 3 || ratio > 4.5 {
+		t.Errorf("random-read slow/fast ratio = %v, want ~3.75", ratio)
+	}
+}
+
+func TestEventPageCostHitRatioShielding(t *testing.T) {
+	c := DefaultConfig()
+	e := access.Event{
+		Region:       guest.Region{Start: 0, Pages: 1},
+		LinesPerPage: 64,
+		Repeat:       100,
+		Kind:         access.Read,
+		Pattern:      access.Random,
+		HitRatio:     0.99, // cache-resident kernel
+		CPUPerLine:   2,
+	}
+	fast := c.EventPageCost(e, Fast, 1)
+	slow := c.EventPageCost(e, Slow, 1)
+	ratio := float64(slow) / float64(fast)
+	if ratio > 1.6 {
+		t.Errorf("cache-resident kernel still tier-sensitive: ratio %v", ratio)
+	}
+}
+
+func TestEventPageCostCPUOnly(t *testing.T) {
+	c := DefaultConfig()
+	e := access.Event{
+		Region:       guest.Region{Start: 0, Pages: 1},
+		LinesPerPage: 1,
+		Repeat:       1000,
+		Kind:         access.Read,
+		Pattern:      access.Sequential,
+		HitRatio:     1,
+		CPUPerLine:   10,
+	}
+	got := c.EventPageCost(e, Slow, 1)
+	// 1000 touches * (1*1ns hit + 10ns cpu) = 11µs
+	want := simtime.Duration(11000)
+	if got != want {
+		t.Errorf("EventPageCost = %v, want %v", got, want)
+	}
+}
+
+func TestMeterChargeAndStallFraction(t *testing.T) {
+	c := DefaultConfig()
+	var m Meter
+	memBound := access.Event{
+		Region: guest.Region{Start: 0, Pages: 1}, LinesPerPage: 64, Repeat: 100,
+		Kind: access.Read, Pattern: access.Random, HitRatio: 0,
+	}
+	d := m.Charge(c, memBound, Slow, 1)
+	if d != m.Total() {
+		t.Errorf("Charge returned %v, meter total %v", d, m.Total())
+	}
+	if m.LineTouches[Slow] != 6400 || m.LineTouches[Fast] != 0 {
+		t.Errorf("LineTouches = %v", m.LineTouches)
+	}
+	if sf := m.StallFraction(); sf < 0.95 {
+		t.Errorf("memory-bound stall fraction = %v, want >0.95", sf)
+	}
+
+	var m2 Meter
+	cpuBound := memBound
+	cpuBound.HitRatio = 1
+	cpuBound.CPUPerLine = 50
+	m2.Charge(c, cpuBound, Slow, 1)
+	if sf := m2.StallFraction(); sf > 0.05 {
+		t.Errorf("cpu-bound stall fraction = %v, want ~0", sf)
+	}
+}
+
+func TestMeterStallFractionEmpty(t *testing.T) {
+	var m Meter
+	if m.StallFraction() != 0 {
+		t.Error("empty meter stall fraction not 0")
+	}
+}
+
+func TestPlacementTierOf(t *testing.T) {
+	pl := NewPlacement([]guest.Region{{Start: 10, Pages: 5}, {Start: 100, Pages: 1}})
+	cases := []struct {
+		p    guest.PageID
+		want Tier
+	}{{0, Fast}, {9, Fast}, {10, Slow}, {14, Slow}, {15, Fast}, {99, Fast}, {100, Slow}, {101, Fast}}
+	for _, tc := range cases {
+		if got := pl.TierOf(tc.p); got != tc.want {
+			t.Errorf("TierOf(%d) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPlacementHelpers(t *testing.T) {
+	if AllFast().SlowPages() != 0 {
+		t.Error("AllFast has slow pages")
+	}
+	pl := AllSlow(100)
+	if pl.SlowPages() != 100 {
+		t.Errorf("AllSlow(100).SlowPages = %d", pl.SlowPages())
+	}
+	if got := pl.SlowShare(200); got != 0.5 {
+		t.Errorf("SlowShare = %v, want 0.5", got)
+	}
+	if got := pl.SlowShare(0); got != 0 {
+		t.Errorf("SlowShare(0) = %v, want 0", got)
+	}
+	regs := NewPlacement([]guest.Region{{Start: 5, Pages: 2}, {Start: 1, Pages: 2}}).SlowRegions()
+	if len(regs) != 2 || regs[0] != (guest.Region{Start: 1, Pages: 2}) {
+		t.Errorf("SlowRegions = %v", regs)
+	}
+}
+
+// Property: TierOf agrees with a naive linear scan of slow regions.
+func TestPlacementTierOfProperty(t *testing.T) {
+	f := func(raw []uint8, probe uint8) bool {
+		var regions []guest.Region
+		for _, x := range raw {
+			regions = append(regions, guest.Region{Start: guest.PageID(x % 64), Pages: int64(x%5) + 1})
+		}
+		pl := NewPlacement(regions)
+		norm := guest.NormalizeRegions(regions)
+		p := guest.PageID(probe % 80)
+		want := Fast
+		for _, r := range norm {
+			if r.Contains(p) {
+				want = Slow
+			}
+		}
+		return pl.TierOf(p) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: contention never decreases cost and concurrency 1 is neutral.
+func TestContentionMonotoneProperty(t *testing.T) {
+	c := DefaultConfig()
+	f := func(k uint8) bool {
+		conc := int(k%32) + 1
+		base := c.LineCost(Slow, access.Random, access.Read, 1)
+		cur := c.LineCost(Slow, access.Random, access.Read, conc)
+		return cur >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package mem
+
+import (
+	"testing"
+
+	"toss/internal/access"
+)
+
+func TestPresetsWellFormed(t *testing.T) {
+	ps := Presets()
+	if len(ps) < 4 {
+		t.Fatalf("only %d presets", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if p.Name == "" {
+			t.Error("unnamed preset")
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate preset %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.CostRatio < 1 {
+			t.Errorf("%s: cost ratio %v < 1", p.Name, p.CostRatio)
+		}
+		// Slow tier must actually be slower for every access class.
+		for _, pat := range []access.Pattern{access.Sequential, access.Random} {
+			for _, k := range []access.Kind{access.Read, access.Write} {
+				f := p.Config.LineCost(Fast, pat, k, 1)
+				s := p.Config.LineCost(Slow, pat, k, 1)
+				if s <= f {
+					t.Errorf("%s: slow %v/%v (%v) not above fast (%v)", p.Name, pat, k, s, f)
+				}
+			}
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	p, ok := PresetByName("dram+cxl")
+	if !ok || p.Name != "dram+cxl" {
+		t.Fatalf("PresetByName failed: %+v, %v", p, ok)
+	}
+	if _, ok := PresetByName("nope"); ok {
+		t.Error("unknown preset found")
+	}
+}
+
+func TestPresetLatencyOrdering(t *testing.T) {
+	// Random-read gap ordering across technologies: cxl < optane < nvme.
+	gap := func(name string) float64 {
+		p, ok := PresetByName(name)
+		if !ok {
+			t.Fatalf("missing preset %s", name)
+		}
+		return p.Config.LineCost(Slow, access.Random, access.Read, 1) /
+			p.Config.LineCost(Fast, access.Random, access.Read, 1)
+	}
+	cxl, optane, nvme := gap("dram+cxl"), gap("dram+optane"), gap("dram+nvme")
+	if !(cxl < optane && optane < nvme) {
+		t.Errorf("gap ordering wrong: cxl %v, optane %v, nvme %v", cxl, optane, nvme)
+	}
+}

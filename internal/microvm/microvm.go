@@ -1,0 +1,444 @@
+// Package microvm simulates the Firecracker-style virtual machine monitor
+// that hosts serverless functions. It reproduces the lifecycle the paper
+// builds on:
+//
+//	fresh boot  -> run -> pause -> snapshot            (initial execution)
+//	restore     -> run                                  (subsequent invocations)
+//
+// Three restore modes cover the systems under evaluation:
+//
+//   - Lazy: Firecracker's default — map the memory file once and demand-fault
+//     every page from disk on first touch (the "DRAM snapshot" baseline).
+//   - REAP: prefetch the recorded working set sequentially at setup time and
+//     populate its page-table entries, demand-faulting only the rest.
+//   - Tiered (TOSS): map each layout region of the two tier files; slow-tier
+//     regions are accessed in place (DAX, minor fault only), fast-tier
+//     regions load from disk on first touch.
+//
+// All costs are charged in virtual time through the mem and disk models.
+package microvm
+
+import (
+	"fmt"
+
+	"toss/internal/access"
+	"toss/internal/disk"
+	"toss/internal/guest"
+	"toss/internal/mem"
+	"toss/internal/simtime"
+	"toss/internal/snapshot"
+)
+
+// Config carries the platform cost constants alongside the memory and disk
+// models. The VMM-side constants are calibrated to published Firecracker and
+// REAP measurements.
+type Config struct {
+	Mem  mem.Config
+	Disk disk.Config
+	// BootTime is a fresh microVM boot (kernel + runtime init).
+	BootTime simtime.Duration
+	// VMLoadBase is the fixed cost of loading the VM state file and
+	// restoring the device model.
+	VMLoadBase simtime.Duration
+	// MmapCost is charged per memory mapping established at restore.
+	MmapCost simtime.Duration
+	// PTEPopulateCost is charged per page REAP pre-populates at setup.
+	PTEPopulateCost simtime.Duration
+	// MajorFaultTrap is the kernel-side cost of one demand fault, excluding
+	// the device read itself.
+	MajorFaultTrap simtime.Duration
+	// MinorFaultTrap is the cost of a first touch that needs no device read
+	// (anonymous zero page or DAX-mapped slow-tier page).
+	MinorFaultTrap simtime.Duration
+	// FaultAroundPages is the kernel's fault-around window: sequential
+	// demand faults are batched so only one trap per window is paid.
+	FaultAroundPages int64
+	// UffdRoundTrip is the userspace page-fault round trip REAP pays per
+	// non-prefetched page: kernel trap, userfaultfd wakeup, handler copy.
+	UffdRoundTrip simtime.Duration
+	// UffdContentionBeta scales the round trip under concurrency — REAP's
+	// fault handler serializes concurrent invocations' misses, the paper's
+	// REAP-Worst scalability collapse (Fig. 9).
+	UffdContentionBeta float64
+}
+
+// DefaultConfig returns the calibrated platform.
+func DefaultConfig() Config {
+	return Config{
+		Mem:                mem.DefaultConfig(),
+		Disk:               disk.DefaultConfig(),
+		BootTime:           700 * simtime.Millisecond,
+		VMLoadBase:         4 * simtime.Millisecond,
+		MmapCost:           25 * simtime.Microsecond,
+		PTEPopulateCost:    400 * simtime.Nanosecond,
+		MajorFaultTrap:     2 * simtime.Microsecond,
+		MinorFaultTrap:     500 * simtime.Nanosecond,
+		FaultAroundPages:   16,
+		UffdRoundTrip:      12 * simtime.Microsecond,
+		UffdContentionBeta: 0.25,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Disk.Validate(); err != nil {
+		return err
+	}
+	if c.BootTime < 0 || c.VMLoadBase < 0 || c.MmapCost < 0 ||
+		c.PTEPopulateCost < 0 || c.MajorFaultTrap < 0 || c.MinorFaultTrap < 0 {
+		return fmt.Errorf("microvm: negative cost constant")
+	}
+	if c.FaultAroundPages < 1 {
+		return fmt.Errorf("microvm: FaultAroundPages %d < 1", c.FaultAroundPages)
+	}
+	if c.UffdRoundTrip < 0 || c.UffdContentionBeta < 0 {
+		return fmt.Errorf("microvm: negative userfaultfd cost")
+	}
+	return nil
+}
+
+// Backing describes where non-resident pages come from.
+type Backing uint8
+
+const (
+	// BackingAnon is a fresh boot: first touches allocate zero pages.
+	BackingAnon Backing = iota
+	// BackingDisk is a lazily-restored snapshot: first touches read 4 KiB
+	// from the snapshot file.
+	BackingDisk
+	// BackingTiered is a TOSS restore: fast-tier pages read from the fast
+	// file on first touch, slow-tier pages are DAX-mapped in place.
+	BackingTiered
+)
+
+// Machine is one microVM instance, alive for a single invocation.
+type Machine struct {
+	cfg       Config
+	layout    guest.Layout
+	placement *mem.Placement
+	backing   Backing
+	resident  bitset
+	// stored marks pages with backing-file contents; non-stored pages are
+	// snapshot holes (zero pages) that only need zero-fill on first touch.
+	stored bitset
+	// uffd marks REAP-style restores where every miss is served by a
+	// userspace fault handler instead of kernel demand paging.
+	uffd  bool
+	setup simtime.Duration
+	// concurrency is the number of invocations sharing the host, used by
+	// the contention models.
+	concurrency int
+	// recordTruth controls whether Run builds the ground-truth access
+	// histogram. Profiling needs it; timing-only runs can skip the cost.
+	recordTruth bool
+}
+
+// SetRecordTruth enables or disables ground-truth histogram collection for
+// subsequent Run calls. It is on by default.
+func (m *Machine) SetRecordTruth(on bool) { m.recordTruth = on }
+
+// NewBooted returns a freshly booted DRAM-only machine (the paper's Step I).
+func NewBooted(cfg Config, layout guest.Layout) *Machine {
+	m := &Machine{
+		cfg:         cfg,
+		layout:      layout,
+		placement:   mem.AllFast(),
+		backing:     BackingAnon,
+		resident:    newBitset(layout.TotalPages),
+		setup:       cfg.BootTime,
+		concurrency: 1,
+		recordTruth: true,
+	}
+	// Boot leaves the boot image resident.
+	m.resident.setRange(layout.BootImage)
+	return m
+}
+
+// RestoreLazy returns a machine restored from a single-tier snapshot with
+// Firecracker's default on-demand paging.
+func RestoreLazy(cfg Config, layout guest.Layout, snap *snapshot.Single, concurrency int) *Machine {
+	m := &Machine{
+		cfg:         cfg,
+		layout:      layout,
+		placement:   mem.AllFast(),
+		backing:     BackingDisk,
+		resident:    newBitset(layout.TotalPages),
+		stored:      newBitset(layout.TotalPages),
+		concurrency: clampConc(concurrency),
+		recordTruth: true,
+	}
+	for _, r := range snap.Memory.ResidentRegions() {
+		m.stored.setRange(r)
+	}
+	m.setup = cfg.VMLoadBase + cfg.MmapCost // one mapping for the memory file
+	return m
+}
+
+// RestoreREAP returns a machine restored the REAP way: the working set is
+// prefetched from its consolidated file in one sequential read and its page
+// tables are populated eagerly; everything else demand-faults.
+func RestoreREAP(cfg Config, layout guest.Layout, snap *snapshot.Single, ws []guest.Region, concurrency int) *Machine {
+	m := RestoreLazy(cfg, layout, snap, concurrency)
+	m.uffd = true
+	ws = guest.NormalizeRegions(ws)
+	wsPages := guest.TotalPages(ws)
+	m.setup = cfg.VMLoadBase + 2*cfg.MmapCost + // memory file + WS file
+		cfg.Disk.SequentialRead(wsPages*guest.PageSize, m.concurrency) +
+		simtime.Duration(wsPages)*cfg.PTEPopulateCost
+	for _, r := range ws {
+		m.resident.setRange(r)
+	}
+	return m
+}
+
+// RestoreTiered returns a machine restored from a TOSS tiered snapshot: one
+// mmap per layout entry, slow-tier entries resident in place (DAX), fast
+// entries demand-loaded from the fast file.
+func RestoreTiered(cfg Config, layout guest.Layout, ts *snapshot.Tiered, concurrency int) *Machine {
+	var slow []guest.Region
+	m := &Machine{
+		cfg:         cfg,
+		layout:      layout,
+		backing:     BackingTiered,
+		resident:    newBitset(layout.TotalPages),
+		stored:      newBitset(layout.TotalPages),
+		concurrency: clampConc(concurrency),
+		recordTruth: true,
+	}
+	for _, e := range ts.Entries {
+		m.stored.setRange(e.GuestRegion())
+		if e.Tier == mem.Slow {
+			slow = append(slow, e.GuestRegion())
+			m.resident.setRange(e.GuestRegion())
+		}
+	}
+	m.placement = mem.NewPlacement(slow)
+	m.setup = cfg.VMLoadBase + simtime.Duration(len(ts.Entries))*cfg.MmapCost
+	return m
+}
+
+// NewResident returns a machine whose memory is fully resident under an
+// explicit page placement — no demand paging, pure tiered execution. TOSS's
+// bin-profiling step (§V-C) uses this to measure how a candidate
+// fast/slow split affects execution time in steady state.
+func NewResident(cfg Config, layout guest.Layout, placement *mem.Placement, concurrency int) *Machine {
+	m := &Machine{
+		cfg:         cfg,
+		layout:      layout,
+		placement:   placement,
+		backing:     BackingAnon,
+		resident:    newBitset(layout.TotalPages),
+		concurrency: clampConc(concurrency),
+		recordTruth: true,
+	}
+	m.resident.setRange(guest.Region{Start: 0, Pages: layout.TotalPages})
+	return m
+}
+
+func clampConc(c int) int {
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// SetupTime reports the virtual time the restore (or boot) took.
+func (m *Machine) SetupTime() simtime.Duration { return m.setup }
+
+// Placement exposes the machine's page-to-tier mapping.
+func (m *Machine) Placement() *mem.Placement { return m.placement }
+
+// Result is the outcome of running one invocation on a machine.
+type Result struct {
+	// Setup is the restore/boot time.
+	Setup simtime.Duration
+	// Exec is the function execution time, including demand-fault stalls.
+	Exec simtime.Duration
+	// Meter breaks execution down by CPU vs per-tier memory time.
+	Meter mem.Meter
+	// MajorFaults and MinorFaults count first-touch events.
+	MajorFaults int64
+	MinorFaults int64
+	// FaultTime is the part of Exec spent in demand paging.
+	FaultTime simtime.Duration
+	// Truth is the ground-truth per-page access histogram of the
+	// invocation, which profilers consume.
+	Truth *access.Histogram
+	// Trace is the executed trace (for working-set extraction).
+	Trace *access.Trace
+}
+
+// Total returns setup plus execution — the paper's "invocation time".
+func (r Result) Total() simtime.Duration { return r.Setup + r.Exec }
+
+// Run executes a trace on the machine and returns the invocation result.
+// Run may be called once per machine; serverless invocations are 1:1 with
+// microVM instances in all experiments.
+func (m *Machine) Run(tr *access.Trace) (Result, error) {
+	if err := tr.Validate(); err != nil {
+		return Result{}, fmt.Errorf("microvm: invalid trace: %w", err)
+	}
+	res := Result{
+		Setup: m.setup,
+		Truth: access.NewHistogram(),
+		Trace: tr,
+	}
+	clock := simtime.NewClock()
+	for _, e := range tr.Events {
+		if e.Region.End() > guest.PageID(m.layout.TotalPages) {
+			return Result{}, fmt.Errorf("microvm: event %v exceeds guest of %d pages", e.Region, m.layout.TotalPages)
+		}
+		for _, seg := range m.placement.Segments(e.Region) {
+			// Demand paging for first touches of this segment.
+			newStored, newZero := m.touch(seg.Region)
+			if newStored+newZero > 0 {
+				cost, major, minor := m.faultCost(e, seg.Tier, newStored, newZero)
+				clock.Advance(cost)
+				res.FaultTime += cost
+				res.MajorFaults += major
+				res.MinorFaults += minor
+			}
+			// Memory service.
+			clock.Advance(res.Meter.ChargePages(m.cfg.Mem, e, seg.Tier, m.concurrency, seg.Region.Pages))
+		}
+		if m.recordTruth {
+			res.Truth.AddEvent(e)
+		}
+	}
+	res.Exec = clock.Now()
+	return res, nil
+}
+
+// touch marks all pages of r resident and splits the newly-touched count
+// into pages with stored backing-file contents and zero-page holes.
+func (m *Machine) touch(r guest.Region) (newStored, newZero int64) {
+	for p := r.Start; p < r.End(); p++ {
+		if m.resident.get(p) {
+			continue
+		}
+		m.resident.set(p)
+		if m.stored.words != nil && m.stored.get(p) {
+			newStored++
+		} else {
+			newZero++
+		}
+	}
+	if m.stored.words == nil {
+		// No backing file at all (fresh boot / fully-resident machine):
+		// everything is an anonymous zero page.
+		return 0, newStored + newZero
+	}
+	return newStored, newZero
+}
+
+// faultCost prices first touches of new pages of the given tier under event
+// e's access pattern, returning (cost, majorFaults, minorFaults).
+func (m *Machine) faultCost(e access.Event, t mem.Tier, newStored, newZero int64) (simtime.Duration, int64, int64) {
+	switch m.backing {
+	case BackingAnon:
+		return simtime.Duration(newStored+newZero) * m.cfg.MinorFaultTrap, 0, newStored + newZero
+	case BackingDisk:
+		if m.uffd {
+			// REAP: every miss — stored or hole — detours through the
+			// userspace handler, which also serializes across concurrent
+			// invocations; stored pages additionally read 4 KiB from disk.
+			n := newStored + newZero
+			rt := float64(m.cfg.UffdRoundTrip) * (1 + m.cfg.UffdContentionBeta*float64(m.concurrency-1))
+			cost := simtime.Duration(float64(n)*rt+0.5) + m.cfg.Disk.FaultCost(newStored, m.concurrency)
+			return cost, n, 0
+		}
+		// Kernel demand paging: stored pages read from the snapshot file,
+		// holes are zero-filled minor faults.
+		cost := m.majorFaultCost(e, newStored) + simtime.Duration(newZero)*m.cfg.MinorFaultTrap
+		return cost, newStored, newZero
+	case BackingTiered:
+		// Slow-tier entries were made resident at restore (DAX), so any
+		// non-resident page here is either a fast-tier page loading from
+		// the fast file (stored) or a zero hole in either tier.
+		cost := m.majorFaultCost(e, newStored) + simtime.Duration(newZero)*m.cfg.MinorFaultTrap
+		return cost, newStored, newZero
+	default:
+		panic(fmt.Sprintf("microvm: unknown backing %d", m.backing))
+	}
+}
+
+// majorFaultCost prices demand reads from the snapshot file. Sequential
+// bursts benefit from kernel fault-around and readahead: one trap per
+// fault-around window and bandwidth-priced reads. Random touches pay the
+// full trap plus a 4 KiB random read each.
+func (m *Machine) majorFaultCost(e access.Event, pages int64) simtime.Duration {
+	if e.Pattern == access.Sequential {
+		windows := (pages + m.cfg.FaultAroundPages - 1) / m.cfg.FaultAroundPages
+		return simtime.Duration(windows)*m.cfg.MajorFaultTrap +
+			m.cfg.Disk.SequentialRead(pages*guest.PageSize, m.concurrency)
+	}
+	return simtime.Duration(pages)*m.cfg.MajorFaultTrap +
+		m.cfg.Disk.FaultCost(pages, m.concurrency)
+}
+
+// Snapshot captures the machine's resident memory as a single-tier snapshot
+// after an invocation (the paper's Step I) and prices the capture.
+func (m *Machine) Snapshot(function string) (*snapshot.Single, simtime.Duration) {
+	resident := m.resident.regions()
+	memImg := snapshot.NewMemory(function, m.layout.TotalPages, resident)
+	const vmStateBytes = 1 << 20
+	cost := m.cfg.Disk.SequentialWrite(memImg.ResidentBytes()+vmStateBytes, m.concurrency)
+	return &snapshot.Single{
+		Function:     function,
+		Memory:       memImg,
+		VMStateBytes: vmStateBytes,
+	}, cost
+}
+
+// bitset tracks page residency.
+type bitset struct {
+	words []uint64
+	n     int64
+}
+
+func newBitset(n int64) bitset {
+	return bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (b bitset) get(p guest.PageID) bool {
+	return b.words[p/64]&(1<<(uint(p)%64)) != 0
+}
+
+func (b bitset) set(p guest.PageID) {
+	b.words[p/64] |= 1 << (uint(p) % 64)
+}
+
+func (b bitset) setRange(r guest.Region) {
+	for p := r.Start; p < r.End(); p++ {
+		b.set(p)
+	}
+}
+
+// setRangeCountingNew sets all pages in r and returns how many were newly set.
+func (b bitset) setRangeCountingNew(r guest.Region) int64 {
+	var fresh int64
+	for p := r.Start; p < r.End(); p++ {
+		if !b.get(p) {
+			b.set(p)
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// regions returns the set bits as normalized guest regions.
+func (b bitset) regions() []guest.Region {
+	var out []guest.Region
+	var cur *guest.Region
+	for p := guest.PageID(0); p < guest.PageID(b.n); p++ {
+		if b.get(p) {
+			if cur != nil && cur.End() == p {
+				cur.Pages++
+				continue
+			}
+			out = append(out, guest.Region{Start: p, Pages: 1})
+			cur = &out[len(out)-1]
+		}
+	}
+	return out
+}

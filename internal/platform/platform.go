@@ -1,0 +1,318 @@
+// Package platform assembles the pieces into a serverless platform: a
+// function registry, per-function snapshot managers (TOSS, REAP, or plain
+// lazy-restore DRAM), a concurrent invoker pool, and per-function billing
+// statistics based on the paper's memory cost formula.
+//
+// The platform runs invocations on real goroutines; all *timing* remains
+// virtual and deterministic given the observed concurrency level, which the
+// platform feeds into the memory/disk contention models.
+package platform
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"toss/internal/core"
+	"toss/internal/microvm"
+	"toss/internal/reap"
+	"toss/internal/simtime"
+	"toss/internal/snapshot"
+	"toss/internal/workload"
+)
+
+// Mode selects the snapshot mechanism serving a function.
+type Mode int
+
+const (
+	// ModeTOSS serves from TOSS tiered snapshots (after profiling).
+	ModeTOSS Mode = iota
+	// ModeREAP serves with REAP working-set prefetching.
+	ModeREAP
+	// ModeDRAM serves with Firecracker's default lazy restore, all-DRAM.
+	ModeDRAM
+	// ModeFaaSnap serves with FaaSnap's mincore-inflated working sets.
+	ModeFaaSnap
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeTOSS:
+		return "toss"
+	case ModeREAP:
+		return "reap"
+	case ModeDRAM:
+		return "dram"
+	case ModeFaaSnap:
+		return "faasnap"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Platform hosts registered functions.
+type Platform struct {
+	cfg core.Config
+
+	mu  sync.RWMutex
+	fns map[string]*functionState
+
+	// active tracks in-flight invocations for the contention models.
+	active atomic.Int64
+}
+
+type functionState struct {
+	mu   sync.Mutex
+	spec *workload.Spec
+	mode Mode
+
+	toss    *core.Controller
+	reap    *reap.Manager
+	faasnap *reap.FaaSnapManager
+	// dramSnap backs ModeDRAM after its first invocation.
+	dramSnap *snapshot.Single
+
+	stats Stats
+}
+
+// Stats summarizes a function's served invocations.
+type Stats struct {
+	Invocations int64
+	// TotalSetup/TotalExec accumulate virtual time.
+	TotalSetup simtime.Duration
+	TotalExec  simtime.Duration
+	MaxExec    simtime.Duration
+	// MajorFaults accumulates demand faults.
+	MajorFaults int64
+	// Phase is the TOSS phase (TOSS mode only).
+	Phase core.Phase
+	// NormCost is the function's current normalized memory cost (1.0
+	// before a tiered snapshot exists or for non-TOSS modes).
+	NormCost float64
+	// SlowShare is the fraction of guest memory in the slow tier.
+	SlowShare float64
+}
+
+// MeanExec returns the average execution time.
+func (s Stats) MeanExec() simtime.Duration {
+	if s.Invocations == 0 {
+		return 0
+	}
+	return simtime.Duration(int64(s.TotalExec) / s.Invocations)
+}
+
+// New returns an empty platform.
+func New(cfg core.Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Platform{cfg: cfg, fns: make(map[string]*functionState)}, nil
+}
+
+// Register adds a function under the given serving mode.
+func (p *Platform) Register(spec *workload.Spec, mode Mode) error {
+	if spec == nil {
+		return fmt.Errorf("platform: nil spec")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.fns[spec.Name]; dup {
+		return fmt.Errorf("platform: function %q already registered", spec.Name)
+	}
+	fs := &functionState{spec: spec, mode: mode, stats: Stats{NormCost: 1}}
+	switch mode {
+	case ModeTOSS:
+		c, err := core.NewController(p.cfg, spec)
+		if err != nil {
+			return err
+		}
+		fs.toss = c
+	case ModeREAP:
+		m, err := reap.NewManager(p.cfg.VM, spec)
+		if err != nil {
+			return err
+		}
+		fs.reap = m
+	case ModeFaaSnap:
+		m, err := reap.NewFaaSnapManager(p.cfg.VM, spec)
+		if err != nil {
+			return err
+		}
+		fs.faasnap = m
+	case ModeDRAM:
+		// Lazily captures its snapshot on first invocation.
+	default:
+		return fmt.Errorf("platform: unknown mode %v", mode)
+	}
+	p.fns[spec.Name] = fs
+	return nil
+}
+
+// Functions lists registered function names.
+func (p *Platform) Functions() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.fns))
+	for n := range p.fns {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Record is the outcome of one platform invocation.
+type Record struct {
+	Function string
+	Level    workload.Level
+	Mode     Mode
+	Phase    core.Phase // TOSS only
+	Setup    simtime.Duration
+	Exec     simtime.Duration
+	Faults   int64
+	Err      error
+}
+
+// Total returns setup + execution.
+func (r Record) Total() simtime.Duration { return r.Setup + r.Exec }
+
+// Invoke serves one invocation of a registered function. Safe for
+// concurrent use; concurrent invocations see each other through the
+// contention models.
+func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
+	p.mu.RLock()
+	fs := p.fns[name]
+	p.mu.RUnlock()
+	rec := Record{Function: name, Level: lv}
+	if fs == nil {
+		rec.Err = fmt.Errorf("platform: unknown function %q", name)
+		return rec
+	}
+	conc := int(p.active.Add(1))
+	defer p.active.Add(-1)
+
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	rec.Mode = fs.mode
+
+	switch fs.mode {
+	case ModeTOSS:
+		res, err := fs.toss.Invoke(lv, seed, conc)
+		if err != nil {
+			rec.Err = err
+			return rec
+		}
+		rec.Phase = res.Phase
+		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
+		fs.stats.Phase = fs.toss.Phase()
+		if a := fs.toss.Analysis(); a != nil {
+			fs.stats.NormCost = a.MinCost()
+			fs.stats.SlowShare = a.SlowShare()
+		}
+	case ModeREAP:
+		res, err := fs.reap.Invoke(lv, seed, conc)
+		if err != nil {
+			rec.Err = err
+			return rec
+		}
+		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
+	case ModeFaaSnap:
+		res, err := fs.faasnap.Invoke(lv, seed, conc)
+		if err != nil {
+			rec.Err = err
+			return rec
+		}
+		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
+	case ModeDRAM:
+		res, err := p.invokeDRAM(fs, lv, seed, conc)
+		if err != nil {
+			rec.Err = err
+			return rec
+		}
+		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
+	}
+
+	fs.stats.Invocations++
+	fs.stats.TotalSetup += rec.Setup
+	fs.stats.TotalExec += rec.Exec
+	fs.stats.MajorFaults += rec.Faults
+	if rec.Exec > fs.stats.MaxExec {
+		fs.stats.MaxExec = rec.Exec
+	}
+	return rec
+}
+
+// invokeDRAM serves the all-DRAM lazy-restore baseline.
+func (p *Platform) invokeDRAM(fs *functionState, lv workload.Level, seed int64, conc int) (microvm.Result, error) {
+	layout, err := fs.spec.Layout()
+	if err != nil {
+		return microvm.Result{}, err
+	}
+	tr, err := fs.spec.Trace(lv, seed)
+	if err != nil {
+		return microvm.Result{}, err
+	}
+	if fs.dramSnap == nil {
+		vm := microvm.NewBooted(p.cfg.VM, layout)
+		res, err := vm.Run(tr)
+		if err != nil {
+			return microvm.Result{}, err
+		}
+		snap, cost := vm.Snapshot(fs.spec.Name)
+		fs.dramSnap = snap
+		res.Setup += cost
+		return res, nil
+	}
+	vm := microvm.RestoreLazy(p.cfg.VM, layout, fs.dramSnap, conc)
+	return vm.Run(tr)
+}
+
+// Stats returns a snapshot of the function's statistics.
+func (p *Platform) Stats(name string) (Stats, error) {
+	p.mu.RLock()
+	fs := p.fns[name]
+	p.mu.RUnlock()
+	if fs == nil {
+		return Stats{}, fmt.Errorf("platform: unknown function %q", name)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats, nil
+}
+
+// Request is one entry of an invocation trace.
+type Request struct {
+	Function string
+	Level    workload.Level
+	Seed     int64
+}
+
+// Replay drives a request trace through a pool of `workers` goroutines and
+// returns one record per request, in completion order.
+func (p *Platform) Replay(reqs []Request, workers int) []Record {
+	if workers < 1 {
+		workers = 1
+	}
+	in := make(chan Request)
+	out := make(chan Record, len(reqs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range in {
+				out <- p.Invoke(req.Function, req.Level, req.Seed)
+			}
+		}()
+	}
+	for _, req := range reqs {
+		in <- req
+	}
+	close(in)
+	wg.Wait()
+	close(out)
+	records := make([]Record, 0, len(reqs))
+	for r := range out {
+		records = append(records, r)
+	}
+	return records
+}

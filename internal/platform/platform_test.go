@@ -1,0 +1,236 @@
+package platform
+
+import (
+	"sync"
+	"testing"
+
+	"toss/internal/core"
+	"toss/internal/workload"
+)
+
+func testPlatform(t *testing.T) *Platform {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.ConvergenceWindow = 3
+	cfg.ReprofileBudget = 0
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustRegister(t *testing.T, p *Platform, name string, mode Mode) {
+	t.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	if err := p.Register(spec, mode); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeTOSS.String() != "toss" || ModeREAP.String() != "reap" || ModeDRAM.String() != "dram" {
+		t.Error("Mode.String wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode String empty")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Bins = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	p := testPlatform(t)
+	if err := p.Register(nil, ModeTOSS); err == nil {
+		t.Error("nil spec accepted")
+	}
+	mustRegister(t, p, "pyaes", ModeTOSS)
+	spec, _ := workload.ByName("pyaes")
+	if err := p.Register(spec, ModeREAP); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := p.Register(mustSpec(t, "compress"), Mode(42)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if len(p.Functions()) != 1 {
+		t.Errorf("Functions = %v", p.Functions())
+	}
+}
+
+func mustSpec(t *testing.T, name string) *workload.Spec {
+	t.Helper()
+	s, ok := workload.ByName(name)
+	if !ok {
+		t.Fatal(name)
+	}
+	return s
+}
+
+func TestInvokeUnknownFunction(t *testing.T) {
+	p := testPlatform(t)
+	rec := p.Invoke("nope", workload.I, 1)
+	if rec.Err == nil {
+		t.Error("unknown function invocation succeeded")
+	}
+}
+
+func TestDRAMModeLifecycle(t *testing.T) {
+	p := testPlatform(t)
+	mustRegister(t, p, "pyaes", ModeDRAM)
+	first := p.Invoke("pyaes", workload.II, 1)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	second := p.Invoke("pyaes", workload.II, 2)
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	// First invocation boots (slow setup); later ones lazy-restore.
+	if second.Setup >= first.Setup {
+		t.Errorf("restore setup %v not below boot setup %v", second.Setup, first.Setup)
+	}
+	st, err := p.Stats("pyaes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Invocations != 2 || st.NormCost != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MeanExec() <= 0 || st.MaxExec <= 0 {
+		t.Errorf("exec stats empty: %+v", st)
+	}
+}
+
+func TestREAPModeThroughPlatform(t *testing.T) {
+	p := testPlatform(t)
+	mustRegister(t, p, "json_load_dump", ModeREAP)
+	if rec := p.Invoke("json_load_dump", workload.III, 1); rec.Err != nil {
+		t.Fatal(rec.Err)
+	}
+	rec := p.Invoke("json_load_dump", workload.III, 1)
+	if rec.Err != nil {
+		t.Fatal(rec.Err)
+	}
+	if rec.Faults != 0 {
+		t.Errorf("matched REAP invocation faulted %d pages", rec.Faults)
+	}
+}
+
+func TestFaaSnapModeThroughPlatform(t *testing.T) {
+	p := testPlatform(t)
+	mustRegister(t, p, "json_load_dump", ModeFaaSnap)
+	if rec := p.Invoke("json_load_dump", workload.III, 1); rec.Err != nil {
+		t.Fatal(rec.Err)
+	}
+	rec := p.Invoke("json_load_dump", workload.III, 1)
+	if rec.Err != nil {
+		t.Fatal(rec.Err)
+	}
+	if rec.Faults != 0 {
+		t.Errorf("matched FaaSnap invocation faulted %d pages", rec.Faults)
+	}
+	if rec.Mode != ModeFaaSnap || ModeFaaSnap.String() != "faasnap" {
+		t.Error("mode labeling wrong")
+	}
+}
+
+func TestTOSSModeConvergesAndBillsCheaper(t *testing.T) {
+	p := testPlatform(t)
+	mustRegister(t, p, "pyaes", ModeTOSS)
+	var last Record
+	for i := 0; i < 300; i++ {
+		last = p.Invoke("pyaes", workload.Levels[i%4], int64(i+1))
+		if last.Err != nil {
+			t.Fatal(last.Err)
+		}
+		st, _ := p.Stats("pyaes")
+		if st.Phase == core.PhaseTiered {
+			break
+		}
+	}
+	st, err := p.Stats("pyaes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != core.PhaseTiered {
+		t.Fatalf("did not reach tiered phase; last phase %v", last.Phase)
+	}
+	if st.NormCost >= 1 || st.NormCost < 0.4 {
+		t.Errorf("NormCost = %v, want [0.4, 1)", st.NormCost)
+	}
+	if st.SlowShare <= 0.5 {
+		t.Errorf("SlowShare = %v, want > 0.5", st.SlowShare)
+	}
+}
+
+func TestStatsUnknownFunction(t *testing.T) {
+	p := testPlatform(t)
+	if _, err := p.Stats("nope"); err == nil {
+		t.Error("unknown function stats succeeded")
+	}
+}
+
+func TestReplayConcurrent(t *testing.T) {
+	p := testPlatform(t)
+	mustRegister(t, p, "pyaes", ModeDRAM)
+	mustRegister(t, p, "compress", ModeDRAM)
+	var reqs []Request
+	for i := 0; i < 12; i++ {
+		name := "pyaes"
+		if i%2 == 0 {
+			name = "compress"
+		}
+		reqs = append(reqs, Request{Function: name, Level: workload.II, Seed: int64(i + 1)})
+	}
+	records := p.Replay(reqs, 4)
+	if len(records) != len(reqs) {
+		t.Fatalf("got %d records for %d requests", len(records), len(reqs))
+	}
+	for _, r := range records {
+		if r.Err != nil {
+			t.Fatalf("replay error: %v", r.Err)
+		}
+		if r.Total() != r.Setup+r.Exec {
+			t.Error("Total != Setup+Exec")
+		}
+	}
+	a, _ := p.Stats("pyaes")
+	b, _ := p.Stats("compress")
+	if a.Invocations+b.Invocations != int64(len(reqs)) {
+		t.Errorf("stats count %d+%d != %d", a.Invocations, b.Invocations, len(reqs))
+	}
+}
+
+func TestConcurrentInvokeRace(t *testing.T) {
+	// Exercised with -race: concurrent invocations across functions.
+	p := testPlatform(t)
+	mustRegister(t, p, "pyaes", ModeDRAM)
+	mustRegister(t, p, "float_operation", ModeREAP)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := "pyaes"
+			if g%2 == 0 {
+				name = "float_operation"
+			}
+			for i := 0; i < 3; i++ {
+				if rec := p.Invoke(name, workload.I, int64(g*10+i+1)); rec.Err != nil {
+					t.Errorf("invoke: %v", rec.Err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,156 @@
+// Package predict implements the arrival predictor behind pre-warming — the
+// second orthogonal mechanism the paper names in §VI-A: "TOSS can load the
+// VM before the predicted function execution". The policy follows the
+// hybrid histogram idea of "Serverless in the Wild" (Shahrad et al.,
+// ATC'20): per function, track the inter-arrival time distribution; when it
+// is regular enough (enough samples, low dispersion), predict the next
+// arrival and a pre-warm window around it; otherwise admit ignorance.
+package predict
+
+import (
+	"math"
+	"sort"
+
+	"toss/internal/simtime"
+)
+
+// Config tunes the predictor.
+type Config struct {
+	// MinSamples is the number of observed inter-arrival times required
+	// before predicting.
+	MinSamples int
+	// MaxCV is the maximum coefficient of variation (stddev/mean) of the
+	// IAT distribution for a prediction to be emitted.
+	MaxCV float64
+	// WindowFraction sizes the pre-warm window as a fraction of the
+	// predicted IAT on each side (bounded below by one millisecond).
+	WindowFraction float64
+	// History caps the number of IATs remembered per function.
+	History int
+}
+
+// DefaultConfig returns a conservative predictor: it only fires for
+// clearly regular (fixed-period or steady high-rate) functions.
+func DefaultConfig() Config {
+	return Config{
+		MinSamples:     4,
+		MaxCV:          0.5,
+		WindowFraction: 0.25,
+		History:        64,
+	}
+}
+
+// Prediction is a forecast next arrival with a pre-warm window.
+type Prediction struct {
+	// At is the predicted arrival instant.
+	At simtime.Duration
+	// WindowStart is when a pre-warmed VM should be ready.
+	WindowStart simtime.Duration
+	// WindowEnd is when an unused pre-warmed VM may be reclaimed.
+	WindowEnd simtime.Duration
+}
+
+// Predictor tracks per-function arrival history.
+type Predictor struct {
+	cfg Config
+	fns map[string]*history
+}
+
+type history struct {
+	last simtime.Duration
+	seen bool
+	iats []simtime.Duration
+}
+
+// New returns a predictor with the given configuration.
+func New(cfg Config) *Predictor {
+	if cfg.MinSamples < 2 {
+		cfg.MinSamples = 2
+	}
+	if cfg.History < cfg.MinSamples {
+		cfg.History = cfg.MinSamples
+	}
+	if cfg.WindowFraction <= 0 {
+		cfg.WindowFraction = 0.25
+	}
+	return &Predictor{cfg: cfg, fns: make(map[string]*history)}
+}
+
+// Observe records an arrival of fn at virtual time `at`. Out-of-order
+// observations (at earlier than the last) are ignored.
+func (p *Predictor) Observe(fn string, at simtime.Duration) {
+	h, ok := p.fns[fn]
+	if !ok {
+		h = &history{}
+		p.fns[fn] = h
+	}
+	if h.seen {
+		if at <= h.last {
+			return
+		}
+		h.iats = append(h.iats, at-h.last)
+		if len(h.iats) > p.cfg.History {
+			h.iats = h.iats[len(h.iats)-p.cfg.History:]
+		}
+	}
+	h.last = at
+	h.seen = true
+}
+
+// Samples returns how many inter-arrival times are recorded for fn.
+func (p *Predictor) Samples(fn string) int {
+	if h, ok := p.fns[fn]; ok {
+		return len(h.iats)
+	}
+	return 0
+}
+
+// Next predicts fn's next arrival. ok is false when the function is
+// unknown, under-sampled, or too irregular.
+func (p *Predictor) Next(fn string) (Prediction, bool) {
+	h, ok := p.fns[fn]
+	if !ok || len(h.iats) < p.cfg.MinSamples {
+		return Prediction{}, false
+	}
+	mean, std := meanStd(h.iats)
+	if mean <= 0 || std/mean > p.cfg.MaxCV {
+		return Prediction{}, false
+	}
+	med := median(h.iats)
+	at := h.last + med
+	margin := simtime.Duration(float64(med) * p.cfg.WindowFraction)
+	if margin < simtime.Millisecond {
+		margin = simtime.Millisecond
+	}
+	start := at - margin
+	if start < h.last {
+		start = h.last
+	}
+	return Prediction{At: at, WindowStart: start, WindowEnd: at + margin}, true
+}
+
+// meanStd computes the mean and population standard deviation.
+func meanStd(ds []simtime.Duration) (float64, float64) {
+	var sum float64
+	for _, d := range ds {
+		sum += float64(d)
+	}
+	mean := sum / float64(len(ds))
+	var ss float64
+	for _, d := range ds {
+		diff := float64(d) - mean
+		ss += diff * diff
+	}
+	return mean, math.Sqrt(ss / float64(len(ds)))
+}
+
+// median returns the middle inter-arrival time.
+func median(ds []simtime.Duration) simtime.Duration {
+	s := append([]simtime.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,67 @@
+package reap
+
+import (
+	"fmt"
+
+	"toss/internal/guest"
+	"toss/internal/microvm"
+	"toss/internal/workload"
+	"toss/internal/wstrack"
+)
+
+// FaaSnapManager drives the FaaSnap baseline (Ao et al., EuroSys'22), the
+// other snapshot system the paper analyzes (§II-C): identical restore
+// strategy to REAP, but the working set is captured with mincore() instead
+// of userfaultfd(). mincore also reports pages the host page cache
+// prefetched around every fault, so the recorded WS is *inflated* — FaaSnap
+// prefetches more than the function touched, trading setup time for fewer
+// residual faults (§III-C).
+type FaaSnapManager struct {
+	Manager
+	// ReadaheadPages is the host readahead window (128 KiB default)
+	// whose overshoot mincore picks up at the end of each run.
+	ReadaheadPages int64
+}
+
+// NewFaaSnapManager returns a FaaSnap manager for the given function.
+func NewFaaSnapManager(cfg microvm.Config, spec *workload.Spec) (*FaaSnapManager, error) {
+	m, err := NewManager(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &FaaSnapManager{Manager: *m, ReadaheadPages: 32}, nil
+}
+
+// Invoke serves one invocation; the first one records the mincore-inflated
+// working set.
+func (m *FaaSnapManager) Invoke(lv workload.Level, seed int64, concurrency int) (Result, error) {
+	if m.snap != nil {
+		return m.Manager.Invoke(lv, seed, concurrency)
+	}
+	tr, err := m.spec.Trace(lv, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	vm := microvm.NewBooted(m.cfg, m.layout)
+	vm.SetRecordTruth(false)
+	res, err := vm.Run(tr)
+	if err != nil {
+		return Result{}, fmt.Errorf("faasnap: initial invocation: %w", err)
+	}
+	snap, cost := vm.Snapshot(m.spec.Name)
+	m.snap = snap
+	m.ws = wstrack.WorkingSetMincore(tr, m.ReadaheadPages, m.layout.TotalPages)
+	m.snapshotInput = lv
+	m.invocations++
+	return Result{Result: res, FirstInvocation: true, SnapshotCost: cost}, nil
+}
+
+// InflationFactor reports how much larger the mincore WS is than the true
+// touched set of the snapshot invocation would have been, in pages per page
+// (1.0 = no inflation). Returns 0 before the first invocation.
+func (m *FaaSnapManager) InflationFactor(trueWSPages int64) float64 {
+	if m.snap == nil || trueWSPages <= 0 {
+		return 0
+	}
+	return float64(guest.TotalPages(m.ws)) / float64(trueWSPages)
+}

@@ -1,0 +1,119 @@
+// Package reap implements the REAP baseline (Ustiugov et al., ASPLOS'21),
+// the snapshot-based state of the art the paper compares against (§VI-B).
+//
+// REAP's lifecycle:
+//
+//  1. The first invocation runs in a fresh microVM. REAP records, via
+//     userfaultfd, the set of pages touched during that invocation (the
+//     working set) and captures a snapshot plus a consolidated working-set
+//     file.
+//  2. Every subsequent invocation restores the snapshot, eagerly prefetches
+//     the recorded working set into memory with one sequential read, and
+//     populates the corresponding page-table entries. Pages outside the
+//     recorded WS demand-fault from disk.
+//
+// The paper's two REAP pathologies fall straight out of this design: the
+// setup time grows with the recorded working set (Fig. 7), and an execution
+// input that diverges from the snapshot input faults on every page the
+// recorded WS missed (Fig. 3).
+package reap
+
+import (
+	"fmt"
+
+	"toss/internal/guest"
+	"toss/internal/microvm"
+	"toss/internal/simtime"
+	"toss/internal/snapshot"
+	"toss/internal/workload"
+	"toss/internal/wstrack"
+)
+
+// Manager drives REAP for one function.
+type Manager struct {
+	cfg    microvm.Config
+	spec   *workload.Spec
+	layout guest.Layout
+
+	snap *snapshot.Single
+	ws   []guest.Region
+	// snapshotInput remembers which input produced the snapshot.
+	snapshotInput workload.Level
+	// invocations counts all invocations served.
+	invocations int64
+}
+
+// NewManager returns a REAP manager for the given function.
+func NewManager(cfg microvm.Config, spec *workload.Spec) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	layout, err := spec.Layout()
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg, spec: spec, layout: layout}, nil
+}
+
+// HasSnapshot reports whether the first invocation has happened.
+func (m *Manager) HasSnapshot() bool { return m.snap != nil }
+
+// SnapshotInput returns the input level the snapshot was captured with.
+func (m *Manager) SnapshotInput() workload.Level { return m.snapshotInput }
+
+// WorkingSet returns the recorded working set (nil before the snapshot).
+func (m *Manager) WorkingSet() []guest.Region { return m.ws }
+
+// Snapshot returns the captured single-tier snapshot (nil before the first
+// invocation).
+func (m *Manager) Snapshot() *snapshot.Single { return m.snap }
+
+// Layout returns the function's guest layout.
+func (m *Manager) Layout() guest.Layout { return m.layout }
+
+// WorkingSetPages returns the recorded working set size in pages.
+func (m *Manager) WorkingSetPages() int64 { return guest.TotalPages(m.ws) }
+
+// Result augments the microVM result with REAP bookkeeping.
+type Result struct {
+	microvm.Result
+	// FirstInvocation is true for the snapshot-capturing run.
+	FirstInvocation bool
+	// SnapshotCost is the time spent writing the snapshot (first run only).
+	SnapshotCost simtime.Duration
+}
+
+// Invoke serves one invocation with the given input level and seed at the
+// given host concurrency.
+func (m *Manager) Invoke(lv workload.Level, seed int64, concurrency int) (Result, error) {
+	tr, err := m.spec.Trace(lv, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	if m.snap == nil {
+		vm := microvm.NewBooted(m.cfg, m.layout)
+		vm.SetRecordTruth(false) // REAP only needs the trace's touched set
+		res, err := vm.Run(tr)
+		if err != nil {
+			return Result{}, fmt.Errorf("reap: initial invocation: %w", err)
+		}
+		snap, cost := vm.Snapshot(m.spec.Name)
+		m.snap = snap
+		// userfaultfd-style WS: pages touched during the invocation.
+		m.ws = wstrack.WorkingSet(tr)
+		m.snapshotInput = lv
+		m.invocations++
+		return Result{Result: res, FirstInvocation: true, SnapshotCost: cost}, nil
+	}
+	vm := microvm.RestoreREAP(m.cfg, m.layout, m.snap, m.ws, concurrency)
+	vm.SetRecordTruth(false)
+	res, err := vm.Run(tr)
+	if err != nil {
+		return Result{}, fmt.Errorf("reap: invocation: %w", err)
+	}
+	m.invocations++
+	return Result{Result: res}, nil
+}
+
+// Invocations returns the number of invocations served so far.
+func (m *Manager) Invocations() int64 { return m.invocations }

@@ -1,0 +1,262 @@
+package sched
+
+import (
+	"fmt"
+
+	"toss/internal/core"
+	"toss/internal/guest"
+	"toss/internal/mem"
+	"toss/internal/microvm"
+	"toss/internal/reap"
+	"toss/internal/simtime"
+	"toss/internal/snapshot"
+	"toss/internal/trace"
+	"toss/internal/workload"
+)
+
+// mechanism adapts one snapshot system to the simulator: cold restores,
+// warm (resumed) invocations, background pre-warm restores, and the warm
+// VM's per-tier footprint for the keep-alive cache.
+type mechanism interface {
+	// invokeCold restores from storage and runs.
+	invokeCold(a trace.Arrival, conc int) (setup, exec simtime.Duration, err error)
+	// invokeWarm runs in a resumed kept-alive VM (no restore, memory
+	// resident in its tiers).
+	invokeWarm(a trace.Arrival, conc int) (exec simtime.Duration, err error)
+	// prewarm performs a background restore, returning its cost.
+	prewarm() (simtime.Duration, error)
+	// footprint returns the warm VM's (fastPages, slowPages).
+	footprint() (int64, int64)
+}
+
+// newMechanism builds the mechanism for one function.
+func newMechanism(cfg Config, fn string) (mechanism, error) {
+	spec, ok := workload.ByName(fn)
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown function %q", fn)
+	}
+	layout, err := spec.Layout()
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Mechanism {
+	case MechTOSS:
+		ctrl, err := core.NewController(cfg.Core, spec)
+		if err != nil {
+			return nil, err
+		}
+		return &tossMech{cfg: cfg, spec: spec, layout: layout, ctrl: ctrl}, nil
+	case MechREAP:
+		mgr, err := reap.NewManager(cfg.Core.VM, spec)
+		if err != nil {
+			return nil, err
+		}
+		return &reapMech{cfg: cfg, spec: spec, layout: layout, mgr: mgr}, nil
+	case MechFaaSnap:
+		mgr, err := reap.NewFaaSnapManager(cfg.Core.VM, spec)
+		if err != nil {
+			return nil, err
+		}
+		return &faasnapMech{cfg: cfg, spec: spec, layout: layout, mgr: mgr}, nil
+	case MechDRAM:
+		return &dramMech{cfg: cfg, spec: spec, layout: layout}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown mechanism %v", cfg.Mechanism)
+	}
+}
+
+// --- TOSS ---
+
+type tossMech struct {
+	cfg    Config
+	spec   *workload.Spec
+	layout guest.Layout
+	ctrl   *core.Controller
+}
+
+func (m *tossMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, error) {
+	res, err := m.ctrl.Invoke(a.Level, a.Seed, conc)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Setup, res.Exec, nil
+}
+
+// invokeWarm still routes through the controller so profiling-phase
+// bookkeeping (pattern folding, convergence, Eq. 4 counters) continues; the
+// restore cost inside the result is discarded because the VM was resumed,
+// not restored.
+func (m *tossMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, error) {
+	res, err := m.ctrl.Invoke(a.Level, a.Seed, conc)
+	if err != nil {
+		return 0, err
+	}
+	exec := res.Exec
+	// A warm tiered VM has no fast-tier demand faults left to take.
+	if m.ctrl.Phase() == core.PhaseTiered {
+		exec -= res.FaultTime
+		if exec < 0 {
+			exec = 0
+		}
+	}
+	return exec, nil
+}
+
+func (m *tossMech) prewarm() (simtime.Duration, error) {
+	if ts := m.ctrl.Tiered(); ts != nil {
+		return microvm.RestoreTiered(m.cfg.Core.VM, m.layout, ts, 1).SetupTime(), nil
+	}
+	// Before convergence, pre-warming restores the single-tier snapshot.
+	return m.cfg.Core.VM.VMLoadBase + m.cfg.Core.VM.MmapCost, nil
+}
+
+func (m *tossMech) footprint() (int64, int64) {
+	if ts := m.ctrl.Tiered(); ts != nil {
+		return int64(len(ts.FastMem.Pages)), int64(len(ts.SlowMem.Pages))
+	}
+	// Profiling phase: the DRAM-only guest's resident set.
+	return m.layout.BootImage.Pages + m.layout.Heap.Pages/2, 0
+}
+
+// --- REAP ---
+
+type reapMech struct {
+	cfg    Config
+	spec   *workload.Spec
+	layout guest.Layout
+	mgr    *reap.Manager
+}
+
+func (m *reapMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, error) {
+	res, err := m.mgr.Invoke(a.Level, a.Seed, conc)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Setup, res.Exec, nil
+}
+
+func (m *reapMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, error) {
+	return residentExec(m.cfg, m.spec, m.layout, a, conc)
+}
+
+func (m *reapMech) prewarm() (simtime.Duration, error) {
+	if !m.mgr.HasSnapshot() {
+		// Nothing to restore yet; a boot-ahead would be the alternative,
+		// but REAP's paper does not do that — charge a restore-base only.
+		return m.cfg.Core.VM.VMLoadBase, nil
+	}
+	vm := microvm.RestoreREAP(m.cfg.Core.VM, m.layout, m.mgr.Snapshot(), m.mgr.WorkingSet(), 1)
+	return vm.SetupTime(), nil
+}
+
+func (m *reapMech) footprint() (int64, int64) {
+	// REAP keeps everything in DRAM: WS plus faulted pages; approximate
+	// with the recorded working set.
+	ws := m.mgr.WorkingSetPages()
+	if ws == 0 {
+		ws = m.layout.BootImage.Pages
+	}
+	return ws, 0
+}
+
+// --- FaaSnap ---
+
+type faasnapMech struct {
+	cfg    Config
+	spec   *workload.Spec
+	layout guest.Layout
+	mgr    *reap.FaaSnapManager
+}
+
+func (m *faasnapMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, error) {
+	res, err := m.mgr.Invoke(a.Level, a.Seed, conc)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Setup, res.Exec, nil
+}
+
+func (m *faasnapMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, error) {
+	return residentExec(m.cfg, m.spec, m.layout, a, conc)
+}
+
+func (m *faasnapMech) prewarm() (simtime.Duration, error) {
+	if !m.mgr.HasSnapshot() {
+		return m.cfg.Core.VM.VMLoadBase, nil
+	}
+	vm := microvm.RestoreREAP(m.cfg.Core.VM, m.layout, m.mgr.Snapshot(), m.mgr.WorkingSet(), 1)
+	return vm.SetupTime(), nil
+}
+
+func (m *faasnapMech) footprint() (int64, int64) {
+	ws := m.mgr.WorkingSetPages()
+	if ws == 0 {
+		ws = m.layout.BootImage.Pages
+	}
+	return ws, 0
+}
+
+// --- DRAM lazy restore ---
+
+type dramMech struct {
+	cfg    Config
+	spec   *workload.Spec
+	layout guest.Layout
+	snap   *snapshot.Single
+}
+
+func (m *dramMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, error) {
+	tr, err := m.spec.Trace(a.Level, a.Seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	if m.snap == nil {
+		vm := microvm.NewBooted(m.cfg.Core.VM, m.layout)
+		vm.SetRecordTruth(false)
+		res, err := vm.Run(tr)
+		if err != nil {
+			return 0, 0, err
+		}
+		snap, cost := vm.Snapshot(m.spec.Name)
+		m.snap = snap
+		return res.Setup + cost, res.Exec, nil
+	}
+	vm := microvm.RestoreLazy(m.cfg.Core.VM, m.layout, m.snap, conc)
+	vm.SetRecordTruth(false)
+	res, err := vm.Run(tr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Setup, res.Exec, nil
+}
+
+func (m *dramMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, error) {
+	return residentExec(m.cfg, m.spec, m.layout, a, conc)
+}
+
+func (m *dramMech) prewarm() (simtime.Duration, error) {
+	return m.cfg.Core.VM.VMLoadBase + m.cfg.Core.VM.MmapCost, nil
+}
+
+func (m *dramMech) footprint() (int64, int64) {
+	if m.snap != nil {
+		return int64(len(m.snap.Memory.Pages)), 0
+	}
+	return m.layout.BootImage.Pages, 0
+}
+
+// residentExec runs an invocation fully resident in DRAM — the warm path
+// shared by the single-tier mechanisms.
+func residentExec(cfg Config, spec *workload.Spec, layout guest.Layout, a trace.Arrival, conc int) (simtime.Duration, error) {
+	tr, err := spec.Trace(a.Level, a.Seed)
+	if err != nil {
+		return 0, err
+	}
+	vm := microvm.NewResident(cfg.Core.VM, layout, mem.AllFast(), conc)
+	vm.SetRecordTruth(false)
+	res, err := vm.Run(tr)
+	if err != nil {
+		return 0, err
+	}
+	return res.Exec, nil
+}

@@ -1,0 +1,96 @@
+package store
+
+import (
+	"testing"
+
+	"toss/internal/core"
+	"toss/internal/damon"
+	"toss/internal/snapshot"
+	"toss/internal/workload"
+)
+
+// TestControllerHooksPersistEverything drives a controller with store hooks
+// attached and verifies the full artifact set lands on disk: one DAMON file
+// per profiling invocation, the unified pattern, the single and tiered
+// snapshots, and converged metadata.
+func TestControllerHooksPersistEverything(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ConvergenceWindow = 4
+	cfg.ReprofileBudget = 0
+	spec := workload.ByNameMust("pyaes")
+	ctrl, err := core.NewController(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patternsSaved int
+	ctrl.SetHooks(core.Hooks{
+		OnPattern: func(seq int, p damon.Pattern) {
+			if err := s.SavePattern(spec.Name, seq, p); err != nil {
+				t.Fatalf("SavePattern: %v", err)
+			}
+			patternsSaved++
+		},
+		OnConverged: func(pd *core.ProfileData, a *core.Analysis, ts *snapshot.Tiered) {
+			if err := s.SaveProfile(pd, a); err != nil {
+				t.Fatalf("SaveProfile: %v", err)
+			}
+			if err := s.SaveTiered(spec.Name, ts); err != nil {
+				t.Fatalf("SaveTiered: %v", err)
+			}
+		},
+	})
+
+	converged := false
+	for i := 0; i < 200 && !converged; i++ {
+		res, err := ctrl.Invoke(workload.Levels[i%4], int64(i+1), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		converged = res.Converged
+	}
+	if !converged {
+		t.Fatal("controller did not converge")
+	}
+
+	if patternsSaved == 0 {
+		t.Fatal("no patterns saved through hooks")
+	}
+	ps, err := s.Patterns(spec.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != patternsSaved {
+		t.Errorf("stored patterns = %d, hook fired %d times", len(ps), patternsSaved)
+	}
+	meta, err := s.LoadMeta(spec.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Converged || meta.MinCost != ctrl.Analysis().MinCost() {
+		t.Errorf("meta = %+v", meta)
+	}
+	ts, err := s.LoadTiered(spec.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Regions() != ctrl.Tiered().Regions() {
+		t.Errorf("tiered regions = %d, want %d", ts.Regions(), ctrl.Tiered().Regions())
+	}
+
+	// A fresh process resumes from disk and analyzes identically.
+	pd, _, err := s.LoadProfile(spec.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(cfg, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ChosenK != ctrl.Analysis().ChosenK {
+		t.Errorf("resumed ChosenK = %d, want %d", a.ChosenK, ctrl.Analysis().ChosenK)
+	}
+}

@@ -1,0 +1,224 @@
+// Package store persists a function's TOSS artifacts on disk, the way the
+// paper's prototype keeps them next to Firecracker's snapshot files:
+//
+//	<root>/<function>/
+//	    single.toss        single-tier snapshot (Step I)
+//	    patterns/NNNNN.damon   one DAMON file per profiled invocation (§VI-A)
+//	    unified.damon      the max-merged access-pattern file (Step II)
+//	    tiered/            layout.toss + mem_fast.toss + mem_slow.toss (Step IV)
+//	    meta.json          profiling counters and the analysis summary
+//
+// A platform restart can Load a function and resume exactly where profiling
+// (or tiered serving) stopped.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"toss/internal/core"
+	"toss/internal/damon"
+	"toss/internal/simtime"
+	"toss/internal/snapshot"
+	"toss/internal/workload"
+)
+
+// Store is a directory of per-function artifact sets.
+type Store struct {
+	root string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) fnDir(fn string) string { return filepath.Join(s.root, fn) }
+
+// Meta is the JSON sidecar: everything not held by a binary artifact.
+type Meta struct {
+	Function string `json:"function"`
+	Profiled int    `json:"profiled_invocations"`
+	Largest  struct {
+		Level  int   `json:"level"`
+		Seed   int64 `json:"seed"`
+		ExecNs int64 `json:"exec_ns"`
+	} `json:"largest_input"`
+	// Analysis summary (present once converged).
+	Converged         bool    `json:"converged"`
+	MinCost           float64 `json:"min_cost,omitempty"`
+	MinCostSlowdown   float64 `json:"min_cost_slowdown,omitempty"`
+	SlowShare         float64 `json:"slow_share,omitempty"`
+	ChosenBins        int     `json:"chosen_bins,omitempty"`
+	ProfilingOverhead float64 `json:"profiling_overhead,omitempty"`
+}
+
+// Functions lists the function names with stored artifacts.
+func (s *Store) Functions() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			if _, err := os.Stat(filepath.Join(s.fnDir(e.Name()), "meta.json")); err == nil {
+				out = append(out, e.Name())
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SaveProfile persists Step I/II state: the single snapshot, the unified
+// pattern, and the metadata. Analysis fields are filled when a != nil.
+func (s *Store) SaveProfile(pd *core.ProfileData, a *core.Analysis) error {
+	dir := s.fnDir(pd.Spec.Name)
+	if err := os.MkdirAll(filepath.Join(dir, "patterns"), 0o755); err != nil {
+		return err
+	}
+	if err := snapshot.WriteSingle(filepath.Join(dir, "single.toss"), pd.Single); err != nil {
+		return err
+	}
+	if err := damon.WriteUnified(filepath.Join(dir, "unified.damon"), pd.Unified); err != nil {
+		return err
+	}
+	var m Meta
+	m.Function = pd.Spec.Name
+	m.Profiled = pd.Profiled
+	m.Largest.Level = int(pd.Largest.Level)
+	m.Largest.Seed = pd.Largest.Seed
+	m.Largest.ExecNs = pd.Largest.Exec.Nanoseconds()
+	if a != nil {
+		m.Converged = true
+		m.MinCost = a.MinCost()
+		m.MinCostSlowdown = a.MinCostSlowdown()
+		m.SlowShare = a.SlowShare()
+		m.ChosenBins = a.ChosenK
+		m.ProfilingOverhead = a.ProfilingOverhead
+	}
+	return s.writeMeta(dir, m)
+}
+
+func (s *Store) writeMeta(dir string, m Meta) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "meta.json"), data, 0o644)
+}
+
+// LoadMeta reads a function's metadata.
+func (s *Store) LoadMeta(fn string) (Meta, error) {
+	data, err := os.ReadFile(filepath.Join(s.fnDir(fn), "meta.json"))
+	if err != nil {
+		return Meta{}, err
+	}
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Meta{}, fmt.Errorf("store: meta for %s: %w", fn, err)
+	}
+	if m.Function != fn {
+		return Meta{}, fmt.Errorf("store: meta names %q, directory is %q", m.Function, fn)
+	}
+	return m, nil
+}
+
+// LoadProfile reconstructs the profiling state for a function.
+func (s *Store) LoadProfile(fn string) (*core.ProfileData, Meta, error) {
+	m, err := s.LoadMeta(fn)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	spec, ok := workload.ByName(fn)
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("store: stored function %q is not registered", fn)
+	}
+	dir := s.fnDir(fn)
+	single, err := snapshot.ReadSingle(filepath.Join(dir, "single.toss"))
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	unified, err := damon.ReadUnified(filepath.Join(dir, "unified.damon"))
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	largest := core.LargestInput{
+		Level: workload.Level(m.Largest.Level),
+		Seed:  m.Largest.Seed,
+		Exec:  simtime.Duration(m.Largest.ExecNs),
+	}
+	pd, err := core.RebuildProfileData(spec, single, unified, m.Profiled, largest)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	return pd, m, nil
+}
+
+// SavePattern persists one profiling invocation's DAMON file under a
+// sequence number.
+func (s *Store) SavePattern(fn string, seq int, p damon.Pattern) error {
+	dir := filepath.Join(s.fnDir(fn), "patterns")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return damon.WritePattern(filepath.Join(dir, fmt.Sprintf("%05d.damon", seq)), p)
+}
+
+// Patterns lists and loads all stored DAMON files for a function, in
+// sequence order.
+func (s *Store) Patterns(fn string) ([]damon.Pattern, error) {
+	dir := filepath.Join(s.fnDir(fn), "patterns")
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".damon" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]damon.Pattern, 0, len(names))
+	for _, name := range names {
+		p, err := damon.ReadPattern(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("store: pattern %s: %w", name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SaveTiered persists the tiered snapshot (Step IV).
+func (s *Store) SaveTiered(fn string, ts *snapshot.Tiered) error {
+	dir := filepath.Join(s.fnDir(fn), "tiered")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return snapshot.WriteTiered(dir, ts)
+}
+
+// LoadTiered loads the tiered snapshot; os.ErrNotExist when absent.
+func (s *Store) LoadTiered(fn string) (*snapshot.Tiered, error) {
+	return snapshot.ReadTiered(filepath.Join(s.fnDir(fn), "tiered"))
+}
+
+// Remove deletes every artifact of a function.
+func (s *Store) Remove(fn string) error {
+	return os.RemoveAll(s.fnDir(fn))
+}

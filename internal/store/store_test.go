@@ -1,0 +1,246 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"toss/internal/core"
+	"toss/internal/damon"
+	"toss/internal/guest"
+	"toss/internal/workload"
+)
+
+// buildProfiled returns converged profiling state for a small function.
+func buildProfiled(t *testing.T) (*core.ProfileData, *core.Analysis) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.ConvergenceWindow = 4
+	spec := workload.ByNameMust("pyaes")
+	pd, _, err := core.NewProfileData(cfg, spec, workload.I, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := 0
+	for i := 0; stable < cfg.ConvergenceWindow && i < 200; i++ {
+		_, changed, err := pd.ProfileInvocation(cfg, workload.Levels[i%4], int64(i+2), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			stable = 0
+		} else {
+			stable++
+		}
+	}
+	a, err := core.Analyze(cfg, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pd, a
+}
+
+func TestOpenCreatesRoot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "store")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root() != dir {
+		t.Errorf("Root = %q", s.Root())
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Error("root not created")
+	}
+}
+
+func TestSaveLoadProfileRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, a := buildProfiled(t)
+	if err := s.SaveProfile(pd, a); err != nil {
+		t.Fatal(err)
+	}
+
+	fns, err := s.Functions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 1 || fns[0] != "pyaes" {
+		t.Fatalf("Functions = %v", fns)
+	}
+
+	loaded, meta, err := s.LoadProfile("pyaes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Profiled != pd.Profiled {
+		t.Errorf("Profiled = %d, want %d", loaded.Profiled, pd.Profiled)
+	}
+	if loaded.Largest != pd.Largest {
+		t.Errorf("Largest = %+v, want %+v", loaded.Largest, pd.Largest)
+	}
+	if !loaded.Unified.Histogram().Equal(pd.Unified.Histogram()) {
+		t.Error("unified pattern lost in round trip")
+	}
+	if len(loaded.Single.Memory.Pages) != len(pd.Single.Memory.Pages) {
+		t.Error("snapshot pages lost in round trip")
+	}
+	if !meta.Converged || meta.MinCost != a.MinCost() || meta.ChosenBins != a.ChosenK {
+		t.Errorf("meta = %+v", meta)
+	}
+}
+
+func TestResumedProfileAnalyzesIdentically(t *testing.T) {
+	// The acid test: Analyze over the restored state must produce the same
+	// placement as over the original.
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, a := buildProfiled(t)
+	if err := s.SaveProfile(pd, a); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := s.LoadProfile("pyaes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ConvergenceWindow = 4
+	a2, err := core.Analyze(cfg, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.ChosenK != a.ChosenK {
+		t.Errorf("restored ChosenK = %d, want %d", a2.ChosenK, a.ChosenK)
+	}
+	if a2.Placement.SlowPages() != a.Placement.SlowPages() {
+		t.Errorf("restored placement slow pages = %d, want %d",
+			a2.Placement.SlowPages(), a.Placement.SlowPages())
+	}
+}
+
+func TestTieredRoundTripThroughStore(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, a := buildProfiled(t)
+	ts := core.BuildSnapshot(pd, a)
+	if err := s.SaveTiered("pyaes", ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadTiered("pyaes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Regions() != ts.Regions() || got.SlowShare() != ts.SlowShare() {
+		t.Errorf("tiered mismatch: %d/%v vs %d/%v",
+			got.Regions(), got.SlowShare(), ts.Regions(), ts.SlowShare())
+	}
+	if _, err := s.LoadTiered("missing"); err == nil {
+		t.Error("missing tiered accepted")
+	}
+}
+
+func TestPatternsSequence(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p := damon.Pattern{Records: []damon.RegionRecord{
+			{Region: guest.Region{Start: guest.PageID(i * 10), Pages: 4}, NrAccesses: int64(i + 1)},
+		}}
+		if err := s.SavePattern("fn", i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps, err := s.Patterns("fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("Patterns = %d, want 3", len(ps))
+	}
+	for i, p := range ps {
+		if p.Records[0].NrAccesses != int64(i+1) {
+			t.Errorf("pattern %d out of order: %+v", i, p.Records[0])
+		}
+	}
+	// No patterns dir: empty, no error.
+	if ps, err := s.Patterns("other"); err != nil || len(ps) != 0 {
+		t.Errorf("Patterns(other) = %v, %v", ps, err)
+	}
+}
+
+func TestLoadMetaValidation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadMeta("missing"); err == nil {
+		t.Error("missing meta accepted")
+	}
+	// Corrupt JSON.
+	dir := filepath.Join(s.Root(), "bad")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadMeta("bad"); err == nil {
+		t.Error("corrupt meta accepted")
+	}
+	// Name mismatch.
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"),
+		[]byte(`{"function":"other"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadMeta("bad"); err == nil {
+		t.Error("mismatched meta accepted")
+	}
+}
+
+func TestLoadProfileUnknownFunction(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(s.Root(), "ghost")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"),
+		[]byte(`{"function":"ghost"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LoadProfile("ghost"); err == nil {
+		t.Error("unregistered function loaded")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, a := buildProfiled(t)
+	if err := s.SaveProfile(pd, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("pyaes"); err != nil {
+		t.Fatal(err)
+	}
+	fns, err := s.Functions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 0 {
+		t.Errorf("Functions after Remove = %v", fns)
+	}
+}
