@@ -4,9 +4,16 @@
 // prints per-function statistics including the TOSS lifecycle phase and the
 // billed memory cost.
 //
+// With -trace, every invocation is recorded as a virtual-time span tree and
+// written as a Chrome trace_event file (load it at https://ui.perfetto.dev)
+// or JSON lines; -flame additionally prints an ASCII flame summary of the
+// first invocation. Tracing forces a single worker so span order — and the
+// output bytes — are deterministic for a given seed.
+//
 // Usage:
 //
 //	faasim [-mode toss|reap|dram] [-requests N] [-workers N] [-functions a,b,c]
+//	       [-trace out.json] [-trace-format chrome|jsonl] [-flame]
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 
 	"toss/internal/core"
 	"toss/internal/platform"
+	"toss/internal/telemetry"
 	"toss/internal/workload"
 )
 
@@ -29,6 +37,9 @@ func main() {
 	fns := flag.String("functions", "pyaes,json_load_dump,compress", "comma-separated Table I functions")
 	window := flag.Int("window", 12, "TOSS profiling convergence window")
 	seed := flag.Int64("seed", 42, "trace seed")
+	traceOut := flag.String("trace", "", "write a virtual-time trace to this file (forces -workers 1)")
+	traceFormat := flag.String("trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
+	flame := flag.Bool("flame", false, "print an ASCII flame summary of the first traced invocation")
 	flag.Parse()
 
 	var mode platform.Mode
@@ -46,13 +57,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *telemetry.Tracer
+	if *traceOut != "" || *flame {
+		switch *traceFormat {
+		case "chrome", "jsonl":
+		default:
+			fmt.Fprintf(os.Stderr, "faasim: unknown trace format %q (want chrome or jsonl)\n", *traceFormat)
+			os.Exit(2)
+		}
+		tracer = telemetry.NewTracer()
+		if *workers != 1 {
+			fmt.Fprintln(os.Stderr, "faasim: tracing forces -workers 1 for deterministic span order")
+			*workers = 1
+		}
+	}
+
 	cfg := core.DefaultConfig()
 	cfg.ConvergenceWindow = *window
+	if tracer != nil {
+		cfg.VM.Metrics = telemetry.NewMetrics()
+	}
 	p, err := platform.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faasim:", err)
 		os.Exit(1)
 	}
+	p.SetTracer(tracer)
 
 	names := strings.Split(*fns, ",")
 	for _, name := range names {
@@ -107,8 +137,43 @@ func main() {
 			st.MaxExec.Std().Round(10e3).String(),
 			st.NormCost, st.SlowShare*100)
 	}
+
+	if tracer != nil {
+		spans := tracer.Spans()
+		fmt.Printf("\ntrace: %s\n", telemetry.Summarize(spans))
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, *traceFormat, spans); err != nil {
+				fmt.Fprintln(os.Stderr, "faasim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: wrote %d spans to %s (%s)\n", len(spans), *traceOut, *traceFormat)
+		}
+		if *flame {
+			fmt.Printf("\nflame (first invocation):\n%s", telemetry.FlameSummary(spans, 0))
+		}
+	}
+
 	if failed > 0 {
 		fmt.Printf("\n%d invocations failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// writeTrace renders the spans to path in the chosen format.
+func writeTrace(path, format string, spans []*telemetry.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "jsonl" {
+		if err := telemetry.WriteJSONLines(f, spans); err != nil {
+			return err
+		}
+	} else {
+		if err := telemetry.WriteChromeTrace(f, spans); err != nil {
+			return err
+		}
+	}
+	return f.Close()
 }

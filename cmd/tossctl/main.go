@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"toss/internal/experiments"
+	"toss/internal/telemetry"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0, "slowdown threshold (0 disables; e.g. 0.1 = 10%)")
 	timing := flag.Bool("timing", false, "print wall-clock timing per experiment")
 	format := flag.String("format", "table", "output format: table, csv, or json")
+	metrics := flag.Bool("metrics", false, "collect telemetry metrics and dump them after the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tossctl [flags] <experiment>... | all | list\n\nexperiments: %v\n\nflags:\n", experiments.IDs())
 		flag.PrintDefaults()
@@ -47,6 +49,12 @@ func main() {
 		suite.Core.Cost = m
 	}
 
+	var met *telemetry.Metrics
+	if *metrics {
+		met = telemetry.NewMetrics()
+		suite.Core.VM.Metrics = met
+	}
+
 	ids := flag.Args()
 	if len(ids) == 1 {
 		switch ids[0] {
@@ -57,6 +65,15 @@ func main() {
 			return
 		case "all":
 			ids = experiments.IDs()
+		}
+	}
+
+	// Reject unknown experiment ids before running anything.
+	for _, id := range ids {
+		if !experiments.Known(id) {
+			fmt.Fprintf(os.Stderr, "tossctl: unknown experiment %q\n\n", id)
+			flag.Usage()
+			os.Exit(2)
 		}
 	}
 
@@ -87,5 +104,10 @@ func main() {
 		if *timing {
 			fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
+	}
+
+	if met != nil {
+		fmt.Println("=== metrics ===")
+		fmt.Print(met.Dump())
 	}
 }

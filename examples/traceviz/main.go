@@ -1,0 +1,112 @@
+// Traceviz demonstrates the public telemetry API end to end: it drives a few
+// invocations through the TOSS controller with a tracer and a metrics
+// registry attached, then renders the same recorded data four ways —
+//
+//  1. an ASCII flame summary of one invocation's span tree,
+//  2. a Chrome trace_event file (open trace.json at https://ui.perfetto.dev),
+//  3. the JSON-lines span dump for ad-hoc processing, and
+//  4. the metrics registry: counters, fault-latency histogram, tier shares.
+//
+// Everything is stamped with virtual time, so the output is byte-for-byte
+// identical on every run.
+//
+// Run with: go run ./examples/traceviz
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"toss/internal/core"
+	"toss/internal/telemetry"
+	"toss/internal/workload"
+)
+
+func main() {
+	spec, ok := workload.ByName("pyaes")
+	if !ok {
+		log.Fatal("pyaes not registered")
+	}
+
+	// Attach telemetry: the tracer records span trees, the metrics registry
+	// (threaded through the VM config) accumulates counters and histograms.
+	tracer := telemetry.NewTracer()
+	met := telemetry.NewMetrics()
+	cfg := core.DefaultConfig()
+	cfg.ConvergenceWindow = 4
+	cfg.VM.Metrics = met
+
+	ctrl, err := core.NewController(cfg, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each invocation becomes one root span on its own track; the controller
+	// nests phase, restore, fault, DAMON, and execution spans below it. Run
+	// through profiling convergence plus two tiered invocations.
+	invoke := func(i int) *core.Result {
+		root := tracer.Root(telemetry.KindInvocation, spec.Name, 0,
+			telemetry.I64("seq", int64(i)))
+		res, err := ctrl.InvokeTraced(workload.Levels[i%4], int64(i+1), 1, root)
+		if err != nil {
+			log.Fatal(err)
+		}
+		root.EndAt(res.Total())
+		return &res
+	}
+	i := 0
+	for ; ; i++ {
+		if i > 400 {
+			log.Fatal("did not converge")
+		}
+		if invoke(i).Converged {
+			fmt.Printf("invocation %d converged profiling; now serving tiered\n", i)
+			break
+		}
+	}
+	for n := 0; n < 2; n++ {
+		i++
+		invoke(i)
+	}
+
+	spans := tracer.Spans()
+	fmt.Printf("recorded %d spans across %d invocations\n\n", len(spans), tracer.Tracks())
+
+	// 1. ASCII flames: the boot + snapshot capture, and a tiered invocation
+	// restoring from the two-tier snapshot.
+	fmt.Printf("flame of invocation 0 (initial):\n%s\n", telemetry.FlameSummary(spans, 0))
+	fmt.Printf("flame of invocation %d (tiered):\n%s\n",
+		i, telemetry.FlameSummary(spans, tracer.Tracks()-1))
+
+	// 2. Chrome trace for Perfetto.
+	f, err := os.Create("trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := telemetry.WriteChromeTrace(f, spans); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote trace.json — load it at https://ui.perfetto.dev")
+
+	// 3. JSON lines, one span per line; show the first three.
+	var jl bytes.Buffer
+	if err := telemetry.WriteJSONLines(&jl, spans); err != nil {
+		log.Fatal(err)
+	}
+	lines := bytes.SplitN(jl.Bytes(), []byte("\n"), 4)
+	fmt.Println("\nfirst span records as JSON lines:")
+	for _, line := range lines[:3] {
+		fmt.Printf("  %s\n", line)
+	}
+
+	// 4. Aggregate views: per-run summary and the metrics registry.
+	fmt.Printf("\n%s\n", telemetry.Summarize(spans))
+	fast, slow := met.TierUtilization()
+	fmt.Printf("tier memory-time shares: fast %.1f%% slow %.1f%%\n\n", fast*100, slow*100)
+	fmt.Print(met.Dump())
+}

@@ -5,7 +5,9 @@ import (
 
 	"toss/internal/damon"
 	"toss/internal/microvm"
+	"toss/internal/simtime"
 	"toss/internal/snapshot"
+	"toss/internal/telemetry"
 	"toss/internal/workload"
 )
 
@@ -124,10 +126,21 @@ type Result struct {
 
 // Invoke serves one invocation.
 func (c *Controller) Invoke(lv workload.Level, seed int64, concurrency int) (Result, error) {
+	return c.InvokeTraced(lv, seed, concurrency, nil)
+}
+
+// InvokeTraced is Invoke with an optional telemetry span: the invocation's
+// lifecycle phase becomes a child span annotating which controller path
+// served it, with the machine-level spans nested below.
+func (c *Controller) InvokeTraced(lv workload.Level, seed int64, concurrency int, parent *telemetry.Span) (Result, error) {
 	c.invocations++
+	var phaseSpan *telemetry.Span
+	if parent != nil {
+		phaseSpan = parent.Child(telemetry.KindControllerPhase, "phase:"+c.phase.String(), 0)
+	}
 	switch c.phase {
 	case PhaseInitial:
-		pd, res, err := NewProfileData(c.cfg, c.spec, lv, seed)
+		pd, res, err := NewProfileDataTraced(c.cfg, c.spec, lv, seed, phaseSpan)
 		if err != nil {
 			return Result{}, err
 		}
@@ -135,10 +148,11 @@ func (c *Controller) Invoke(lv workload.Level, seed int64, concurrency int) (Res
 		c.pd.OnPattern = c.hooks.OnPattern
 		c.phase = PhaseProfiling
 		c.stable = 0
+		phaseSpan.EndAt(res.Total())
 		return Result{Result: res, Phase: PhaseInitial}, nil
 
 	case PhaseProfiling:
-		res, changed, err := c.pd.ProfileInvocation(c.cfg, lv, seed, concurrency)
+		res, changed, err := c.pd.ProfileInvocationTraced(c.cfg, lv, seed, concurrency, phaseSpan)
 		if err != nil {
 			return Result{}, err
 		}
@@ -149,11 +163,12 @@ func (c *Controller) Invoke(lv workload.Level, seed int64, concurrency int) (Res
 		}
 		out := Result{Result: res, Phase: PhaseProfiling}
 		if c.stable >= c.cfg.ConvergenceWindow {
-			if err := c.converge(); err != nil {
+			if err := c.converge(phaseSpan, res.Total()); err != nil {
 				return Result{}, err
 			}
 			out.Converged = true
 		}
+		phaseSpan.EndAt(res.Total())
 		return out, nil
 
 	case PhaseTiered:
@@ -163,7 +178,7 @@ func (c *Controller) Invoke(lv workload.Level, seed int64, concurrency int) (Res
 		}
 		vm := microvm.RestoreTiered(c.cfg.VM, c.pd.Layout, c.tiered, concurrency)
 		vm.SetRecordTruth(false) // profiling is detached in the tiered phase
-		res, err := vm.Run(tr)
+		res, err := vm.RunTraced(tr, phaseSpan)
 		if err != nil {
 			return Result{}, fmt.Errorf("core: tiered invocation: %w", err)
 		}
@@ -179,6 +194,7 @@ func (c *Controller) Invoke(lv workload.Level, seed int64, concurrency int) (Res
 			c.startReprofile()
 			out.ReprofileTriggered = true
 		}
+		phaseSpan.EndAt(res.Total())
 		return out, nil
 
 	default:
@@ -199,8 +215,10 @@ type RegenStats struct {
 // RegenStats returns the incremental-regeneration counters.
 func (c *Controller) RegenStats() RegenStats { return c.regen }
 
-// converge runs Step III and Step IV and switches to tiered serving.
-func (c *Controller) converge() error {
+// converge runs Step III and Step IV and switches to tiered serving. When a
+// span is given, analysis and the tier split are marked at virtual time `at`
+// (the converging invocation's end) as instantaneous control-plane events.
+func (c *Controller) converge(span *telemetry.Span, at simtime.Duration) error {
 	a, err := Analyze(c.cfg, c.pd)
 	if err != nil {
 		return err
@@ -208,6 +226,16 @@ func (c *Controller) converge() error {
 	c.analysis = a
 	old := c.tiered
 	c.tiered = BuildSnapshot(c.pd, a)
+	if span != nil {
+		span.Child(telemetry.KindControllerPhase, "analyze", at,
+			telemetry.I64("bins", int64(len(a.Bins))),
+			telemetry.I64("chosen_k", int64(a.ChosenK)),
+			telemetry.F64("norm_cost", a.MinCost()),
+			telemetry.F64("slow_share", a.SlowShare())).EndAt(at)
+		span.Child(telemetry.KindSnapshotCreate, "tier-split", at,
+			telemetry.I64("layout_entries", int64(len(c.tiered.Entries))),
+			telemetry.I64("slow_pages", a.Curve[a.ChosenK].SlowPages)).EndAt(at)
+	}
 	c.regen.Generations++
 	if old != nil {
 		diff := snapshot.DiffTiered(old, c.tiered)

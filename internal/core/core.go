@@ -36,6 +36,7 @@ import (
 	"toss/internal/microvm"
 	"toss/internal/simtime"
 	"toss/internal/snapshot"
+	"toss/internal/telemetry"
 	"toss/internal/workload"
 	"toss/internal/wstrack"
 )
@@ -138,6 +139,13 @@ type ProfileData struct {
 // single-tier snapshot capture. The returned result carries the initial
 // invocation's timing (boot, not restore).
 func NewProfileData(cfg Config, spec *workload.Spec, lv workload.Level, seed int64) (*ProfileData, microvm.Result, error) {
+	return NewProfileDataTraced(cfg, spec, lv, seed, nil)
+}
+
+// NewProfileDataTraced is NewProfileData with an optional telemetry span:
+// boot, execution, and the snapshot capture become children of `span` on the
+// invocation's virtual timeline.
+func NewProfileDataTraced(cfg Config, spec *workload.Spec, lv workload.Level, seed int64, span *telemetry.Span) (*ProfileData, microvm.Result, error) {
 	layout, err := spec.Layout()
 	if err != nil {
 		return nil, microvm.Result{}, err
@@ -148,11 +156,11 @@ func NewProfileData(cfg Config, spec *workload.Spec, lv workload.Level, seed int
 	}
 	vm := microvm.NewBooted(cfg.VM, layout)
 	vm.SetRecordTruth(false) // profiling starts with the second invocation
-	res, err := vm.Run(tr)
+	res, err := vm.RunTraced(tr, span)
 	if err != nil {
 		return nil, microvm.Result{}, fmt.Errorf("core: initial execution: %w", err)
 	}
-	single, snapCost := vm.Snapshot(spec.Name)
+	single, snapCost := vm.SnapshotTraced(spec.Name, span, res.Setup+res.Exec)
 	res.Setup += snapCost // charge capture to the first invocation
 	return &ProfileData{
 		Spec:    spec,
@@ -193,12 +201,19 @@ func RebuildProfileData(spec *workload.Spec, single *snapshot.Single, unified *d
 // pattern into the unified file, and report whether the unified pattern
 // changed.
 func (pd *ProfileData) ProfileInvocation(cfg Config, lv workload.Level, seed int64, concurrency int) (microvm.Result, bool, error) {
+	return pd.ProfileInvocationTraced(cfg, lv, seed, concurrency, nil)
+}
+
+// ProfileInvocationTraced is ProfileInvocation with an optional telemetry
+// span: restore, execution, the DAMON sampling window, and the fold into the
+// unified pattern become children of `span`.
+func (pd *ProfileData) ProfileInvocationTraced(cfg Config, lv workload.Level, seed int64, concurrency int, span *telemetry.Span) (microvm.Result, bool, error) {
 	tr, err := pd.Spec.Trace(lv, seed)
 	if err != nil {
 		return microvm.Result{}, false, err
 	}
 	vm := microvm.RestoreLazy(cfg.VM, pd.Layout, pd.Single, concurrency)
-	res, err := vm.Run(tr)
+	res, err := vm.RunTraced(tr, span)
 	if err != nil {
 		return microvm.Result{}, false, fmt.Errorf("core: profiling invocation: %w", err)
 	}
@@ -206,8 +221,15 @@ func (pd *ProfileData) ProfileInvocation(cfg Config, lv workload.Level, seed int
 	res.Exec = res.Exec.Scale(cfg.Damon.OverheadFactor())
 
 	pd.damonSeq++
-	pattern := cfg.Damon.Profile(res.Truth, pd.Layout.TotalPages, seed^pd.damonSeq)
+	pattern := cfg.Damon.ProfileTraced(res.Truth, pd.Layout.TotalPages, seed^pd.damonSeq,
+		span, res.Setup, res.Setup+res.Exec)
 	changed := pd.Unified.Fold(pattern)
+	if span != nil {
+		span.Child(telemetry.KindDAMONAggregate, "unified-fold", res.Setup+res.Exec,
+			telemetry.I64("records", int64(len(pattern.Records))),
+			telemetry.Str("changed", fmt.Sprintf("%t", changed))).
+			EndAt(res.Setup + res.Exec)
+	}
 	pd.Profiled++
 	if pd.OnPattern != nil {
 		pd.OnPattern(pd.Profiled, pattern)

@@ -26,6 +26,7 @@ import (
 	"toss/internal/access"
 	"toss/internal/guest"
 	"toss/internal/simtime"
+	"toss/internal/telemetry"
 )
 
 // Config holds the monitor's tuning knobs.
@@ -142,6 +143,27 @@ func (c Config) Profile(truth *access.Histogram, totalPages int64, seed int64) P
 	records := mergeSimilar(granules, similarityThreshold)
 	records = capRegions(records, c.MaxRegions)
 	return Pattern{Records: records}
+}
+
+// ProfileTraced is Profile plus telemetry: when parent is non-nil it emits a
+// KindDAMONSample span covering the monitored execution interval
+// [start, end] on the parent's timeline, annotated with the sampling work
+// the monitor performed.
+func (c Config) ProfileTraced(truth *access.Histogram, totalPages int64, seed int64,
+	parent *telemetry.Span, start, end simtime.Duration) Pattern {
+	p := c.Profile(truth, totalPages, seed)
+	if parent != nil {
+		samples := int64(0)
+		if c.SamplingInterval > 0 {
+			samples = (end - start).Nanoseconds() / c.SamplingInterval.Nanoseconds()
+		}
+		s := parent.Child(telemetry.KindDAMONSample, "damon-sample", start,
+			telemetry.I64("samples", samples),
+			telemetry.I64("regions", int64(len(p.Records))),
+			telemetry.F64("overhead_frac", c.OverheadFraction))
+		s.EndAt(end)
+	}
+	return p
 }
 
 // similarityThreshold is the relative difference below which two adjacent

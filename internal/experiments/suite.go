@@ -174,6 +174,9 @@ var registry = map[string]Runner{
 // IDs returns all experiment identifiers in canonical order.
 func IDs() []string { return append([]string(nil), registryOrder...) }
 
+// Known reports whether id names a registered experiment.
+func Known(id string) bool { _, ok := registry[id]; return ok }
+
 // Run executes one experiment by id.
 func (s *Suite) Run(id string) (*Table, error) {
 	r, ok := registry[id]

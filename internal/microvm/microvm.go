@@ -27,6 +27,7 @@ import (
 	"toss/internal/mem"
 	"toss/internal/simtime"
 	"toss/internal/snapshot"
+	"toss/internal/telemetry"
 )
 
 // Config carries the platform cost constants alongside the memory and disk
@@ -60,6 +61,10 @@ type Config struct {
 	// fault handler serializes concurrent invocations' misses, the paper's
 	// REAP-Worst scalability collapse (Fig. 9).
 	UffdContentionBeta float64
+	// Metrics, when non-nil, receives fault/restore/execution metrics from
+	// every machine built with this config. Nil (the default) disables
+	// metric recording at the cost of one pointer comparison per site.
+	Metrics *telemetry.Metrics
 }
 
 // DefaultConfig returns the calibrated platform.
@@ -131,6 +136,19 @@ type Machine struct {
 	// recordTruth controls whether Run builds the ground-truth access
 	// histogram. Profiling needs it; timing-only runs can skip the cost.
 	recordTruth bool
+	// setupKind/setupName label the setup span; parts break the setup time
+	// into its telemetry sub-spans (vm-load, mmap, prefetch, ...).
+	setupKind telemetry.SpanKind
+	setupName string
+	parts     []setupPart
+}
+
+// setupPart is one component of the setup-time breakdown, in order.
+type setupPart struct {
+	kind  telemetry.SpanKind
+	name  string
+	dur   simtime.Duration
+	attrs []telemetry.Attr
 }
 
 // SetRecordTruth enables or disables ground-truth histogram collection for
@@ -148,7 +166,10 @@ func NewBooted(cfg Config, layout guest.Layout) *Machine {
 		setup:       cfg.BootTime,
 		concurrency: 1,
 		recordTruth: true,
+		setupKind:   telemetry.KindBoot,
+		setupName:   "boot",
 	}
+	m.parts = []setupPart{{kind: telemetry.KindBoot, name: "kernel+runtime", dur: cfg.BootTime}}
 	// Boot leaves the boot image resident.
 	m.resident.setRange(layout.BootImage)
 	return m
@@ -171,6 +192,12 @@ func RestoreLazy(cfg Config, layout guest.Layout, snap *snapshot.Single, concurr
 		m.stored.setRange(r)
 	}
 	m.setup = cfg.VMLoadBase + cfg.MmapCost // one mapping for the memory file
+	m.setupKind, m.setupName = telemetry.KindSnapshotRestore, "restore-lazy"
+	m.parts = []setupPart{
+		{kind: telemetry.KindSnapshotRestore, name: "vm-load", dur: cfg.VMLoadBase},
+		{kind: telemetry.KindMmap, name: "mmap", dur: cfg.MmapCost,
+			attrs: []telemetry.Attr{telemetry.I64("mappings", 1)}},
+	}
 	return m
 }
 
@@ -182,9 +209,20 @@ func RestoreREAP(cfg Config, layout guest.Layout, snap *snapshot.Single, ws []gu
 	m.uffd = true
 	ws = guest.NormalizeRegions(ws)
 	wsPages := guest.TotalPages(ws)
+	prefetch := cfg.Disk.SequentialRead(wsPages*guest.PageSize, m.concurrency)
+	ptePop := simtime.Duration(wsPages) * cfg.PTEPopulateCost
 	m.setup = cfg.VMLoadBase + 2*cfg.MmapCost + // memory file + WS file
-		cfg.Disk.SequentialRead(wsPages*guest.PageSize, m.concurrency) +
-		simtime.Duration(wsPages)*cfg.PTEPopulateCost
+		prefetch + ptePop
+	m.setupKind, m.setupName = telemetry.KindSnapshotRestore, "restore-reap"
+	m.parts = []setupPart{
+		{kind: telemetry.KindSnapshotRestore, name: "vm-load", dur: cfg.VMLoadBase},
+		{kind: telemetry.KindMmap, name: "mmap", dur: 2 * cfg.MmapCost,
+			attrs: []telemetry.Attr{telemetry.I64("mappings", 2)}},
+		{kind: telemetry.KindPrefetch, name: "ws-prefetch", dur: prefetch,
+			attrs: []telemetry.Attr{telemetry.I64("pages", wsPages)}},
+		{kind: telemetry.KindPTEPopulate, name: "pte-populate", dur: ptePop,
+			attrs: []telemetry.Attr{telemetry.I64("pages", wsPages)}},
+	}
 	for _, r := range ws {
 		m.resident.setRange(r)
 	}
@@ -214,6 +252,15 @@ func RestoreTiered(cfg Config, layout guest.Layout, ts *snapshot.Tiered, concurr
 	}
 	m.placement = mem.NewPlacement(slow)
 	m.setup = cfg.VMLoadBase + simtime.Duration(len(ts.Entries))*cfg.MmapCost
+	m.setupKind, m.setupName = telemetry.KindSnapshotRestore, "restore-tiered"
+	m.parts = []setupPart{
+		{kind: telemetry.KindSnapshotRestore, name: "vm-load", dur: cfg.VMLoadBase},
+		{kind: telemetry.KindMmap, name: "mmap", dur: simtime.Duration(len(ts.Entries)) * cfg.MmapCost,
+			attrs: []telemetry.Attr{
+				telemetry.I64("mappings", int64(len(ts.Entries))),
+				telemetry.I64("slow_pages", guest.TotalPages(slow)),
+			}},
+	}
 	return m
 }
 
@@ -274,7 +321,14 @@ func (r Result) Total() simtime.Duration { return r.Setup + r.Exec }
 // Run executes a trace on the machine and returns the invocation result.
 // Run may be called once per machine; serverless invocations are 1:1 with
 // microVM instances in all experiments.
-func (m *Machine) Run(tr *access.Trace) (Result, error) {
+func (m *Machine) Run(tr *access.Trace) (Result, error) { return m.RunTraced(tr, nil) }
+
+// RunTraced executes a trace like Run and, when span is non-nil, attaches
+// the invocation's span tree under it on the machine's own virtual timeline
+// (0 .. setup .. setup+exec): a setup span broken into its parts, then an
+// exec span with one child span per demand-fault stall. A nil span records
+// nothing and costs one pointer comparison per fault burst.
+func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, error) {
 	if err := tr.Validate(); err != nil {
 		return Result{}, fmt.Errorf("microvm: invalid trace: %w", err)
 	}
@@ -282,6 +336,25 @@ func (m *Machine) Run(tr *access.Trace) (Result, error) {
 		Setup: m.setup,
 		Truth: access.NewHistogram(),
 		Trace: tr,
+	}
+	met := m.cfg.Metrics
+	var faultHist *telemetry.Histogram
+	if met != nil {
+		faultHist = met.Histogram(telemetry.MetricFaultLatency, telemetry.LatencyBuckets())
+	}
+	var execSpan *telemetry.Span
+	if span != nil {
+		if m.setup > 0 || len(m.parts) > 0 {
+			setupSpan := span.Child(m.setupKind, m.setupName, 0)
+			cursor := simtime.Duration(0)
+			for _, p := range m.parts {
+				ps := setupSpan.Child(p.kind, p.name, cursor, p.attrs...)
+				cursor += p.dur
+				ps.EndAt(cursor)
+			}
+			setupSpan.EndAt(m.setup)
+		}
+		execSpan = span.Child(telemetry.KindExec, "exec", m.setup)
 	}
 	clock := simtime.NewClock()
 	for _, e := range tr.Events {
@@ -293,6 +366,16 @@ func (m *Machine) Run(tr *access.Trace) (Result, error) {
 			newStored, newZero := m.touch(seg.Region)
 			if newStored+newZero > 0 {
 				cost, major, minor := m.faultCost(e, seg.Tier, newStored, newZero)
+				if execSpan != nil {
+					fs := execSpan.Child(telemetry.KindDemandFault, "fault",
+						m.setup+clock.Now(),
+						telemetry.I64("major", major),
+						telemetry.I64("minor", minor),
+						telemetry.I64("pages", newStored+newZero),
+						telemetry.Str("tier", seg.Tier.String()))
+					fs.EndAt(m.setup + clock.Now() + cost)
+				}
+				faultHist.Observe(cost.Nanoseconds())
 				clock.Advance(cost)
 				res.FaultTime += cost
 				res.MajorFaults += major
@@ -306,6 +389,23 @@ func (m *Machine) Run(tr *access.Trace) (Result, error) {
 		}
 	}
 	res.Exec = clock.Now()
+	if execSpan != nil {
+		execSpan.Annotate(
+			telemetry.I64("major_faults", res.MajorFaults),
+			telemetry.I64("minor_faults", res.MinorFaults),
+			telemetry.Dur("fault_ns", res.FaultTime))
+		execSpan.EndAt(m.setup + res.Exec)
+	}
+	if met != nil {
+		met.Counter(telemetry.MetricRuns).Add(1)
+		met.Histogram(telemetry.MetricSetupTime, telemetry.LatencyBuckets()).Observe(res.Setup.Nanoseconds())
+		met.Histogram(telemetry.MetricExecTime, telemetry.LatencyBuckets()).Observe(res.Exec.Nanoseconds())
+		met.Counter(telemetry.MetricMajorFaults).Add(res.MajorFaults)
+		met.Counter(telemetry.MetricMinorFaults).Add(res.MinorFaults)
+		met.Counter(telemetry.MetricCPUTime).Add(res.Meter.CPUTime.Nanoseconds())
+		met.Counter(telemetry.MetricFastTierTime).Add(res.Meter.MemTime[mem.Fast].Nanoseconds())
+		met.Counter(telemetry.MetricSlowTierTime).Add(res.Meter.MemTime[mem.Slow].Nanoseconds())
+	}
 	return res, nil
 }
 
@@ -379,10 +479,28 @@ func (m *Machine) majorFaultCost(e access.Event, pages int64) simtime.Duration {
 // Snapshot captures the machine's resident memory as a single-tier snapshot
 // after an invocation (the paper's Step I) and prices the capture.
 func (m *Machine) Snapshot(function string) (*snapshot.Single, simtime.Duration) {
+	return m.SnapshotTraced(function, nil, 0)
+}
+
+// SnapshotTraced is Snapshot plus telemetry: when parent is non-nil it emits
+// a KindSnapshotCreate span starting at `at` on the parent's timeline, and
+// the capture cost lands in the snapshot-create histogram when metrics are
+// configured.
+func (m *Machine) SnapshotTraced(function string, parent *telemetry.Span, at simtime.Duration) (*snapshot.Single, simtime.Duration) {
 	resident := m.resident.regions()
 	memImg := snapshot.NewMemory(function, m.layout.TotalPages, resident)
 	const vmStateBytes = 1 << 20
 	cost := m.cfg.Disk.SequentialWrite(memImg.ResidentBytes()+vmStateBytes, m.concurrency)
+	if parent != nil {
+		s := parent.Child(telemetry.KindSnapshotCreate, "snapshot-write", at,
+			telemetry.I64("resident_bytes", memImg.ResidentBytes()),
+			telemetry.Str("function", function))
+		s.EndAt(at + cost)
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.Histogram(telemetry.MetricSnapshotWrite, telemetry.LatencyBuckets()).
+			Observe(cost.Nanoseconds())
+	}
 	return &snapshot.Single{
 		Function:     function,
 		Memory:       memImg,

@@ -18,6 +18,7 @@ import (
 	"toss/internal/reap"
 	"toss/internal/simtime"
 	"toss/internal/snapshot"
+	"toss/internal/telemetry"
 	"toss/internal/workload"
 )
 
@@ -60,7 +61,22 @@ type Platform struct {
 
 	// active tracks in-flight invocations for the contention models.
 	active atomic.Int64
+
+	// tracer, when set, records every invocation as a root span on its own
+	// track (nil disables tracing at near-zero cost). Span creation order is
+	// only deterministic when invocations are serialized; run Replay with one
+	// worker for byte-identical traces.
+	tracer *telemetry.Tracer
 }
+
+// SetTracer attaches a tracer; each invocation becomes one root span with
+// the full restore/fault/execution tree below it. Pass nil to disable.
+// Call before invoking; the tracer is read without synchronization.
+func (p *Platform) SetTracer(t *telemetry.Tracer) { p.tracer = t }
+
+// Metrics returns the metrics registry invocations record into (nil unless
+// the configuration attached one via cfg.VM.Metrics).
+func (p *Platform) Metrics() *telemetry.Metrics { return p.cfg.VM.Metrics }
 
 type functionState struct {
 	mu   sync.Mutex
@@ -194,12 +210,20 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 	defer fs.mu.Unlock()
 	rec.Mode = fs.mode
 
+	// One root span per invocation, on its own track, with the invocation's
+	// virtual timeline starting at 0.
+	span := p.tracer.Root(telemetry.KindInvocation, name, 0,
+		telemetry.Str("mode", fs.mode.String()),
+		telemetry.Str("level", lv.String()),
+		telemetry.I64("seed", seed),
+		telemetry.I64("concurrency", int64(conc)))
+
 	switch fs.mode {
 	case ModeTOSS:
-		res, err := fs.toss.Invoke(lv, seed, conc)
+		res, err := fs.toss.InvokeTraced(lv, seed, conc, span)
 		if err != nil {
 			rec.Err = err
-			return rec
+			return p.finish(fs, rec, span)
 		}
 		rec.Phase = res.Phase
 		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
@@ -208,25 +232,28 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 			fs.stats.NormCost = a.MinCost()
 			fs.stats.SlowShare = a.SlowShare()
 		}
+		if span != nil {
+			span.Annotate(telemetry.Str("phase", res.Phase.String()))
+		}
 	case ModeREAP:
-		res, err := fs.reap.Invoke(lv, seed, conc)
+		res, err := fs.reap.InvokeTraced(lv, seed, conc, span)
 		if err != nil {
 			rec.Err = err
-			return rec
+			return p.finish(fs, rec, span)
 		}
 		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
 	case ModeFaaSnap:
-		res, err := fs.faasnap.Invoke(lv, seed, conc)
+		res, err := fs.faasnap.InvokeTraced(lv, seed, conc, span)
 		if err != nil {
 			rec.Err = err
-			return rec
+			return p.finish(fs, rec, span)
 		}
 		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
 	case ModeDRAM:
-		res, err := p.invokeDRAM(fs, lv, seed, conc)
+		res, err := p.invokeDRAM(fs, lv, seed, conc, span)
 		if err != nil {
 			rec.Err = err
-			return rec
+			return p.finish(fs, rec, span)
 		}
 		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
 	}
@@ -238,11 +265,26 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 	if rec.Exec > fs.stats.MaxExec {
 		fs.stats.MaxExec = rec.Exec
 	}
+	return p.finish(fs, rec, span)
+}
+
+// finish closes the invocation's root span and records platform metrics.
+func (p *Platform) finish(fs *functionState, rec Record, span *telemetry.Span) Record {
+	span.EndAt(rec.Total())
+	if met := p.cfg.VM.Metrics; met != nil {
+		met.Counter(telemetry.MetricInvocations).Add(1)
+		if rec.Err != nil {
+			met.Counter(telemetry.MetricInvokeErrors).Add(1)
+		} else {
+			met.Counter(telemetry.MetricBilledTime).Add(rec.Total().Nanoseconds())
+			met.Counter(telemetry.MetricPlatformFaults).Add(rec.Faults)
+		}
+	}
 	return rec
 }
 
 // invokeDRAM serves the all-DRAM lazy-restore baseline.
-func (p *Platform) invokeDRAM(fs *functionState, lv workload.Level, seed int64, conc int) (microvm.Result, error) {
+func (p *Platform) invokeDRAM(fs *functionState, lv workload.Level, seed int64, conc int, span *telemetry.Span) (microvm.Result, error) {
 	layout, err := fs.spec.Layout()
 	if err != nil {
 		return microvm.Result{}, err
@@ -253,17 +295,17 @@ func (p *Platform) invokeDRAM(fs *functionState, lv workload.Level, seed int64, 
 	}
 	if fs.dramSnap == nil {
 		vm := microvm.NewBooted(p.cfg.VM, layout)
-		res, err := vm.Run(tr)
+		res, err := vm.RunTraced(tr, span)
 		if err != nil {
 			return microvm.Result{}, err
 		}
-		snap, cost := vm.Snapshot(fs.spec.Name)
+		snap, cost := vm.SnapshotTraced(fs.spec.Name, span, res.Setup+res.Exec)
 		fs.dramSnap = snap
 		res.Setup += cost
 		return res, nil
 	}
 	vm := microvm.RestoreLazy(p.cfg.VM, layout, fs.dramSnap, conc)
-	return vm.Run(tr)
+	return vm.RunTraced(tr, span)
 }
 
 // Stats returns a snapshot of the function's statistics.

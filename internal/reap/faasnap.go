@@ -5,6 +5,7 @@ import (
 
 	"toss/internal/guest"
 	"toss/internal/microvm"
+	"toss/internal/telemetry"
 	"toss/internal/workload"
 	"toss/internal/wstrack"
 )
@@ -35,8 +36,13 @@ func NewFaaSnapManager(cfg microvm.Config, spec *workload.Spec) (*FaaSnapManager
 // Invoke serves one invocation; the first one records the mincore-inflated
 // working set.
 func (m *FaaSnapManager) Invoke(lv workload.Level, seed int64, concurrency int) (Result, error) {
+	return m.InvokeTraced(lv, seed, concurrency, nil)
+}
+
+// InvokeTraced is Invoke with an optional telemetry span.
+func (m *FaaSnapManager) InvokeTraced(lv workload.Level, seed int64, concurrency int, span *telemetry.Span) (Result, error) {
 	if m.snap != nil {
-		return m.Manager.Invoke(lv, seed, concurrency)
+		return m.Manager.InvokeTraced(lv, seed, concurrency, span)
 	}
 	tr, err := m.spec.Trace(lv, seed)
 	if err != nil {
@@ -44,13 +50,16 @@ func (m *FaaSnapManager) Invoke(lv workload.Level, seed int64, concurrency int) 
 	}
 	vm := microvm.NewBooted(m.cfg, m.layout)
 	vm.SetRecordTruth(false)
-	res, err := vm.Run(tr)
+	res, err := vm.RunTraced(tr, span)
 	if err != nil {
 		return Result{}, fmt.Errorf("faasnap: initial invocation: %w", err)
 	}
-	snap, cost := vm.Snapshot(m.spec.Name)
+	snap, cost := vm.SnapshotTraced(m.spec.Name, span, res.Setup+res.Exec)
 	m.snap = snap
 	m.ws = wstrack.WorkingSetMincore(tr, m.ReadaheadPages, m.layout.TotalPages)
+	if span != nil {
+		span.Annotate(telemetry.I64("ws_pages", guest.TotalPages(m.ws)))
+	}
 	m.snapshotInput = lv
 	m.invocations++
 	return Result{Result: res, FirstInvocation: true, SnapshotCost: cost}, nil

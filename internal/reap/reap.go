@@ -25,6 +25,7 @@ import (
 	"toss/internal/microvm"
 	"toss/internal/simtime"
 	"toss/internal/snapshot"
+	"toss/internal/telemetry"
 	"toss/internal/workload"
 	"toss/internal/wstrack"
 )
@@ -86,6 +87,13 @@ type Result struct {
 // Invoke serves one invocation with the given input level and seed at the
 // given host concurrency.
 func (m *Manager) Invoke(lv workload.Level, seed int64, concurrency int) (Result, error) {
+	return m.InvokeTraced(lv, seed, concurrency, nil)
+}
+
+// InvokeTraced is Invoke with an optional telemetry span: the boot-or-restore
+// setup, execution, demand faults, and (on the first run) the snapshot and
+// working-set capture become children of `span`.
+func (m *Manager) InvokeTraced(lv workload.Level, seed int64, concurrency int, span *telemetry.Span) (Result, error) {
 	tr, err := m.spec.Trace(lv, seed)
 	if err != nil {
 		return Result{}, err
@@ -93,21 +101,24 @@ func (m *Manager) Invoke(lv workload.Level, seed int64, concurrency int) (Result
 	if m.snap == nil {
 		vm := microvm.NewBooted(m.cfg, m.layout)
 		vm.SetRecordTruth(false) // REAP only needs the trace's touched set
-		res, err := vm.Run(tr)
+		res, err := vm.RunTraced(tr, span)
 		if err != nil {
 			return Result{}, fmt.Errorf("reap: initial invocation: %w", err)
 		}
-		snap, cost := vm.Snapshot(m.spec.Name)
+		snap, cost := vm.SnapshotTraced(m.spec.Name, span, res.Setup+res.Exec)
 		m.snap = snap
 		// userfaultfd-style WS: pages touched during the invocation.
 		m.ws = wstrack.WorkingSet(tr)
+		if span != nil {
+			span.Annotate(telemetry.I64("ws_pages", guest.TotalPages(m.ws)))
+		}
 		m.snapshotInput = lv
 		m.invocations++
 		return Result{Result: res, FirstInvocation: true, SnapshotCost: cost}, nil
 	}
 	vm := microvm.RestoreREAP(m.cfg, m.layout, m.snap, m.ws, concurrency)
 	vm.SetRecordTruth(false)
-	res, err := vm.Run(tr)
+	res, err := vm.RunTraced(tr, span)
 	if err != nil {
 		return Result{}, fmt.Errorf("reap: invocation: %w", err)
 	}

@@ -22,6 +22,7 @@ import (
 	"toss/internal/keepalive"
 	"toss/internal/predict"
 	"toss/internal/simtime"
+	"toss/internal/telemetry"
 	"toss/internal/trace"
 )
 
@@ -279,7 +280,20 @@ type Sim struct {
 	lastWarmAt map[string]simtime.Duration
 	// expirations counts idle-TTL expiries.
 	expirations int64
+
+	// tracer, when set, records each invocation as a root span on the
+	// simulator's global virtual timeline: queue wait, setup, and execution
+	// appear as children. The simulator is single-threaded, so traces are
+	// deterministic by construction.
+	tracer *telemetry.Tracer
 }
+
+// SetTracer attaches a tracer recording one root span per dispatched
+// invocation on the global virtual timeline. Pass nil to disable.
+func (s *Sim) SetTracer(t *telemetry.Tracer) { s.tracer = t }
+
+// met returns the metrics registry (nil when the config has none attached).
+func (s *Sim) met() *telemetry.Metrics { return s.cfg.Core.VM.Metrics }
 
 // New builds a simulator for the given functions.
 func New(cfg Config, functions []string) (*Sim, error) {
@@ -366,6 +380,9 @@ func (s *Sim) onArrival(a trace.Arrival) error {
 	}
 	if s.free == 0 {
 		s.waiting = append(s.waiting, a)
+		if met := s.met(); met != nil {
+			met.Gauge(telemetry.MetricQueueDepth).Set(int64(len(s.waiting)))
+		}
 		return nil
 	}
 	return s.dispatch(a, s.now)
@@ -426,6 +443,33 @@ func (s *Sim) dispatch(a trace.Arrival, arrivedAt simtime.Duration) error {
 		Start:      kind,
 	})
 	s.push(&event{at: finish, kind: evCompletion})
+
+	if span := s.tracer.Root(telemetry.KindInvocation, a.Function, arrivedAt,
+		telemetry.Str("start", kind.String()),
+		telemetry.I64("concurrency", int64(conc))); span != nil {
+		if s.now > arrivedAt {
+			span.Child(telemetry.KindQueueWait, "queue-wait", arrivedAt).EndAt(s.now)
+		}
+		span.Child(telemetry.KindSnapshotRestore, "setup:"+kind.String(), s.now).
+			EndAt(s.now + setup)
+		span.Child(telemetry.KindExec, "exec", s.now+setup).EndAt(finish)
+		span.EndAt(finish)
+	}
+	if met := s.met(); met != nil {
+		switch kind {
+		case ColdStart:
+			met.Counter(telemetry.MetricColdStarts).Add(1)
+		case WarmStart:
+			met.Counter(telemetry.MetricWarmStarts).Add(1)
+		case PrewarmedStart:
+			met.Counter(telemetry.MetricPrewarmHits).Add(1)
+		}
+		met.Histogram(telemetry.MetricQueueDelay, telemetry.LatencyBuckets()).
+			Observe((s.now - arrivedAt).Nanoseconds())
+		met.Counter(telemetry.MetricBusyCoreTime).Add((setup + exec).Nanoseconds())
+		met.Gauge(telemetry.MetricFreeCores).Set(int64(s.free))
+		met.Gauge(telemetry.MetricQueueDepth).Set(int64(len(s.waiting)))
+	}
 
 	// Keep the finished VM alive on both tiers until evicted (§VI-A).
 	if s.cache != nil {

@@ -69,7 +69,7 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, fmt.Errorf("stats: percentile of empty slice")
 	}
-	if p < 0 || p > 100 {
+	if math.IsNaN(p) || p < 0 || p > 100 {
 		return 0, fmt.Errorf("stats: percentile %v out of [0,100]", p)
 	}
 	s := append([]float64(nil), xs...)

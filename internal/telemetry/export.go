@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"toss/internal/simtime"
+	"toss/internal/stats"
+)
+
+// All exporters are hand-serialized with fixed field order and fixed number
+// formatting: given the same spans they produce the same bytes, which is the
+// property the acceptance tests assert. encoding/json is only used for
+// string escaping (deterministic) and for *parsing* in tests.
+
+// jsonString escapes s as a JSON string literal.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// micros renders virtual nanoseconds as microseconds with nanosecond
+// precision — Chrome's trace_event ts/dur unit.
+func micros(d simtime.Duration) string {
+	return strconv.FormatFloat(float64(d.Nanoseconds())/1e3, 'f', 3, 64)
+}
+
+// attrsJSON renders an ordered attribute list as a JSON object.
+func attrsJSON(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(jsonString(a.Key))
+		b.WriteByte(':')
+		b.WriteString(jsonString(a.Val))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteJSONLines writes one JSON object per span, in creation order: the
+// grep/jq-friendly export.
+func WriteJSONLines(w io.Writer, spans []*Span) error {
+	for _, s := range spans {
+		line := fmt.Sprintf(
+			`{"id":%d,"parent":%d,"track":%d,"kind":%s,"name":%s,"start_ns":%d,"end_ns":%d,"attrs":%s}`,
+			s.ID, s.Parent, s.Track, jsonString(s.Kind.String()), jsonString(s.Name),
+			s.Start.Nanoseconds(), s.End.Nanoseconds(), attrsJSON(s.Attrs))
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace writes the spans in Chrome trace_event JSON (the format
+// chrome://tracing and Perfetto load). Each invocation track becomes one
+// "thread": tid = track+1, named after its root span via metadata events;
+// spans are "X" (complete) events with microsecond timestamps on the track's
+// virtual timeline.
+func WriteChromeTrace(w io.Writer, spans []*Span) error {
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		} else {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+			first = false
+		}
+		_, err := io.WriteString(w, line)
+		return err
+	}
+	// Thread-name metadata: one per track, from the root span.
+	for _, s := range spans {
+		if s.Parent != -1 {
+			continue
+		}
+		label := fmt.Sprintf("%s #%d", s.Name, s.Track)
+		if err := emit(fmt.Sprintf(
+			`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+			s.Track+1, jsonString(label))); err != nil {
+			return err
+		}
+	}
+	for _, s := range spans {
+		if err := emit(fmt.Sprintf(
+			`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":%s}`,
+			jsonString(s.Name), jsonString(s.Kind.String()),
+			micros(s.Start), micros(s.Duration()), s.Track+1,
+			attrsJSON(s.Attrs))); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}
+
+// FlameSummary renders one track's span tree as an indented ASCII flame
+// view: every span with its duration, its share of the root, and a bar.
+// Returns "" when the track has no root span.
+func FlameSummary(spans []*Span, track int64) string {
+	var root *Span
+	children := make(map[int64][]*Span)
+	for _, s := range spans {
+		if s.Track != track {
+			continue
+		}
+		if s.Parent == -1 {
+			root = s
+			continue
+		}
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	if root == nil {
+		return ""
+	}
+	var b strings.Builder
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		share := 1.0
+		if total := root.Duration(); total > 0 {
+			share = float64(s.Duration()) / float64(total)
+		}
+		bar := strings.Repeat("█", int(share*24+0.5))
+		label := fmt.Sprintf("%s%s [%s]", strings.Repeat("  ", depth), s.Name, s.Kind)
+		fmt.Fprintf(&b, "%-46s %12s %6.1f%% %s\n", label, s.Duration(), share*100, bar)
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+// TraceStats summarizes root-span (whole-invocation) durations across a
+// trace using the internal/stats helpers.
+type TraceSummary struct {
+	Invocations int
+	Mean        simtime.Duration
+	P50         simtime.Duration
+	P99         simtime.Duration
+	Max         simtime.Duration
+}
+
+// Summarize computes the TraceSummary for all root spans.
+func Summarize(spans []*Span) TraceSummary {
+	var xs []float64
+	for _, s := range spans {
+		if s.Parent == -1 {
+			xs = append(xs, float64(s.Duration()))
+		}
+	}
+	out := TraceSummary{Invocations: len(xs)}
+	if len(xs) == 0 {
+		return out
+	}
+	out.Mean = simtime.Duration(stats.Mean(xs))
+	if p, err := stats.Percentile(xs, 50); err == nil {
+		out.P50 = simtime.Duration(p)
+	}
+	if p, err := stats.Percentile(xs, 99); err == nil {
+		out.P99 = simtime.Duration(p)
+	}
+	out.Max = simtime.Duration(stats.Max(xs))
+	return out
+}
+
+// String renders the summary as one line.
+func (t TraceSummary) String() string {
+	return fmt.Sprintf("invocations=%d mean=%s p50=%s p99=%s max=%s",
+		t.Invocations, t.Mean, t.P50, t.P99, t.Max)
+}

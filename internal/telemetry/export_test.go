@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"toss/internal/simtime"
+)
+
+// buildTrace constructs a small two-invocation trace.
+func buildTrace() *Tracer {
+	tr := NewTracer()
+	for i := 0; i < 2; i++ {
+		root := tr.Root(KindInvocation, "pyaes", 0, Str("mode", "toss"))
+		restore := root.Child(KindSnapshotRestore, "restore", 0)
+		restore.Child(KindMmap, "mmap x2", 0, I64("mappings", 2)).
+			EndAt(50 * simtime.Microsecond)
+		restore.EndAt(4 * simtime.Millisecond)
+		exec := root.Child(KindExec, "exec", 4*simtime.Millisecond)
+		exec.Child(KindDemandFault, "faults", 5*simtime.Millisecond,
+			I64("major", 12)).EndAt(6 * simtime.Millisecond)
+		exec.EndAt(15 * simtime.Millisecond)
+		root.EndAt(15 * simtime.Millisecond)
+	}
+	return tr
+}
+
+func TestJSONLinesParses(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		for _, key := range []string{"id", "parent", "track", "kind", "name", "start_ns", "end_ns", "attrs"} {
+			if _, ok := obj[key]; !ok {
+				t.Fatalf("line %d missing %q", lines, key)
+			}
+		}
+		lines++
+	}
+	if lines != len(tr.Spans()) {
+		t.Errorf("%d lines for %d spans", lines, len(tr.Spans()))
+	}
+}
+
+func TestChromeTraceParses(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var xEvents, mEvents int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			xEvents++
+			if e.Dur < 0 || e.Tid < 1 {
+				t.Errorf("bad X event %+v", e)
+			}
+		case "M":
+			mEvents++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if xEvents != len(tr.Spans()) {
+		t.Errorf("%d X events for %d spans", xEvents, len(tr.Spans()))
+	}
+	if mEvents != int(tr.Tracks()) {
+		t.Errorf("%d metadata events for %d tracks", mEvents, tr.Tracks())
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		tr := buildTrace()
+		var a, b bytes.Buffer
+		if err := WriteChromeTrace(&a, tr.Spans()); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSONLines(&b, tr.Spans()); err != nil {
+			t.Fatal(err)
+		}
+		return a.String(), b.String()
+	}
+	c1, j1 := render()
+	c2, j2 := render()
+	if c1 != c2 {
+		t.Error("chrome export not byte-deterministic")
+	}
+	if j1 != j2 {
+		t.Error("jsonl export not byte-deterministic")
+	}
+}
+
+func TestFlameSummary(t *testing.T) {
+	tr := buildTrace()
+	out := FlameSummary(tr.Spans(), 0)
+	for _, want := range []string{"pyaes", "restore", "exec", "faults", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flame summary missing %q:\n%s", want, out)
+		}
+	}
+	// Children are indented under parents.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("flame has %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "  ") {
+		t.Error("child not indented")
+	}
+	if FlameSummary(tr.Spans(), 99) != "" {
+		t.Error("missing track should render empty")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := buildTrace()
+	sum := Summarize(tr.Spans())
+	if sum.Invocations != 2 {
+		t.Errorf("invocations = %d", sum.Invocations)
+	}
+	if sum.Mean != 15*simtime.Millisecond || sum.Max != 15*simtime.Millisecond {
+		t.Errorf("mean=%v max=%v", sum.Mean, sum.Max)
+	}
+	if !strings.Contains(sum.String(), "invocations=2") {
+		t.Errorf("summary string = %q", sum.String())
+	}
+	empty := Summarize(nil)
+	if empty.Invocations != 0 || empty.Mean != 0 {
+		t.Error("empty summarize non-zero")
+	}
+}
