@@ -10,22 +10,35 @@
 // first invocation. Tracing forces a single worker so span order — and the
 // output bytes — are deterministic for a given seed.
 //
+// The flight recorder (-http, -prom, -csv, -heatmap) samples every metric on
+// a virtual-time cadence (-record-interval) and tracks per-function tier
+// residency. -prom and -csv write byte-deterministic exports; -heatmap
+// prints an ASCII tier-residency heatmap; -http serves the live dashboard
+// (/metrics, /timeseries.json, /heatmap, /healthz, /debug/pprof/) after the
+// replay finishes. The recorder, like tracing, forces a single worker.
+//
 // Usage:
 //
 //	faasim [-mode toss|reap|dram] [-requests N] [-workers N] [-functions a,b,c]
 //	       [-trace out.json] [-trace-format chrome|jsonl] [-flame]
+//	       [-http :8080] [-prom out.prom] [-csv out.csv] [-heatmap]
+//	       [-record-interval 100ms]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"toss/internal/core"
+	"toss/internal/obs"
 	"toss/internal/platform"
+	"toss/internal/simtime"
 	"toss/internal/telemetry"
 	"toss/internal/workload"
 )
@@ -40,6 +53,11 @@ func main() {
 	traceOut := flag.String("trace", "", "write a virtual-time trace to this file (forces -workers 1)")
 	traceFormat := flag.String("trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
 	flame := flag.Bool("flame", false, "print an ASCII flame summary of the first traced invocation")
+	httpAddr := flag.String("http", "", "serve the live dashboard on this address after the replay (forces -workers 1)")
+	promOut := flag.String("prom", "", "write a Prometheus text export to this file (forces -workers 1)")
+	csvOut := flag.String("csv", "", "write the sampled series as CSV to this file (forces -workers 1)")
+	heatmap := flag.Bool("heatmap", false, "print the ASCII tier-residency heatmap (forces -workers 1)")
+	recordInterval := flag.Duration("record-interval", 100*time.Millisecond, "flight-recorder sampling cadence in virtual time")
 	flag.Parse()
 
 	var mode platform.Mode
@@ -57,6 +75,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Deterministic output (span order, recorder timeline) needs serialized
+	// invocations. Warn once, whichever feature tripped it first.
+	workersSetExplicitly := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSetExplicitly = true
+		}
+	})
+	warned := false
+	forceSingleWorker := func(reason string) {
+		if *workers == 1 {
+			return
+		}
+		if !warned {
+			fmt.Fprintf(os.Stderr, "faasim: %s forces -workers 1 for deterministic output\n", reason)
+			warned = true
+		}
+		*workers = 1
+	}
+
 	var tracer *telemetry.Tracer
 	if *traceOut != "" || *flame {
 		switch *traceFormat {
@@ -66,15 +104,21 @@ func main() {
 			os.Exit(2)
 		}
 		tracer = telemetry.NewTracer()
-		if *workers != 1 {
-			fmt.Fprintln(os.Stderr, "faasim: tracing forces -workers 1 for deterministic span order")
-			*workers = 1
-		}
+		forceSingleWorker("tracing")
+	}
+
+	recording := *httpAddr != "" || *promOut != "" || *csvOut != "" || *heatmap
+	if *httpAddr != "" && workersSetExplicitly && *workers > 1 {
+		fmt.Fprintf(os.Stderr, "faasim: -http requires -workers 1 (the dashboard serves a deterministic timeline); drop -workers or pass -workers 1\n")
+		os.Exit(2)
+	}
+	if recording {
+		forceSingleWorker("the flight recorder")
 	}
 
 	cfg := core.DefaultConfig()
 	cfg.ConvergenceWindow = *window
-	if tracer != nil {
+	if tracer != nil || recording {
 		cfg.VM.Metrics = telemetry.NewMetrics()
 	}
 	p, err := platform.New(cfg)
@@ -83,6 +127,15 @@ func main() {
 		os.Exit(1)
 	}
 	p.SetTracer(tracer)
+
+	var rec *obs.Recorder
+	if recording {
+		rec = obs.New(obs.Config{
+			Interval: simtime.Duration(recordInterval.Nanoseconds()),
+			Metrics:  cfg.VM.Metrics,
+		})
+		p.SetRecorder(rec) // before Register: TOSS hooks wire at registration
+	}
 
 	names := strings.Split(*fns, ",")
 	for _, name := range names {
@@ -153,10 +206,59 @@ func main() {
 		}
 	}
 
+	if rec != nil {
+		if *heatmap {
+			fmt.Printf("\n%s", obs.RenderHeatmap(rec.Snapshot(), 64))
+		}
+		if *promOut != "" {
+			if err := writeExport(*promOut, func(f *os.File) error {
+				return obs.WritePrometheus(f, rec.Metrics())
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "faasim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorder: wrote Prometheus export to %s\n", *promOut)
+		}
+		if *csvOut != "" {
+			if err := writeExport(*csvOut, func(f *os.File) error {
+				return obs.WriteCSV(f, rec.Snapshot())
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "faasim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorder: wrote CSV export to %s\n", *csvOut)
+		}
+	}
+
 	if failed > 0 {
 		fmt.Printf("\n%d invocations failed\n", failed)
 		os.Exit(1)
 	}
+
+	if *httpAddr != "" {
+		display := *httpAddr
+		if strings.HasPrefix(display, ":") {
+			display = "localhost" + display
+		}
+		fmt.Printf("\nserving dashboard on http://%s/ (metrics, timeseries.json, heatmap, healthz, debug/pprof)\n", display)
+		if err := http.ListenAndServe(*httpAddr, rec.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, "faasim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeExport creates path and streams one export into it.
+func writeExport(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace renders the spans to path in the chosen format.

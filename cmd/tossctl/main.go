@@ -104,10 +104,13 @@ func main() {
 		if *timing {
 			fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
-	}
-
-	if met != nil {
-		fmt.Println("=== metrics ===")
-		fmt.Print(met.Dump())
+		// Per-experiment metrics: dump, then reset in place so cached
+		// instrument handles inside the suite stay live for the next id.
+		if met != nil {
+			fmt.Printf("=== metrics: %s ===\n", id)
+			fmt.Print(met.Dump())
+			fmt.Println()
+			met.Reset()
+		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"toss/internal/access"
 	"toss/internal/damon"
 	"toss/internal/microvm"
 	"toss/internal/simtime"
@@ -74,9 +75,16 @@ type Controller struct {
 type Hooks struct {
 	// OnPattern receives each profiling invocation's DAMON pattern.
 	OnPattern func(seq int, p damon.Pattern)
+	// OnProfiled receives, per profiling invocation, DAMON's estimated
+	// pattern alongside the invocation's exact ground-truth access counts —
+	// the join the DAMON-accuracy audit (internal/obs) consumes.
+	OnProfiled func(seq int, p damon.Pattern, truth *access.Histogram)
 	// OnConverged fires after Step IV with the full artifact set (also on
 	// re-profiling convergences).
 	OnConverged func(pd *ProfileData, a *Analysis, ts *snapshot.Tiered)
+	// OnPhase observes lifecycle transitions with the total invocation count
+	// at the moment of the transition.
+	OnPhase func(from, to Phase, invocation int64)
 }
 
 // SetHooks installs artifact hooks; call before the first invocation.
@@ -84,6 +92,14 @@ func (c *Controller) SetHooks(h Hooks) {
 	c.hooks = h
 	if c.pd != nil {
 		c.pd.OnPattern = h.OnPattern
+		c.pd.OnProfiled = h.OnProfiled
+	}
+}
+
+// firePhase notifies the OnPhase hook of a transition.
+func (c *Controller) firePhase(from, to Phase) {
+	if c.hooks.OnPhase != nil {
+		c.hooks.OnPhase(from, to, c.invocations)
 	}
 }
 
@@ -146,8 +162,10 @@ func (c *Controller) InvokeTraced(lv workload.Level, seed int64, concurrency int
 		}
 		c.pd = pd
 		c.pd.OnPattern = c.hooks.OnPattern
+		c.pd.OnProfiled = c.hooks.OnProfiled
 		c.phase = PhaseProfiling
 		c.stable = 0
+		c.firePhase(PhaseInitial, PhaseProfiling)
 		phaseSpan.EndAt(res.Total())
 		return Result{Result: res, Phase: PhaseInitial}, nil
 
@@ -245,6 +263,7 @@ func (c *Controller) converge(span *telemetry.Span, at simtime.Duration) error {
 	c.phase = PhaseTiered
 	c.iterations = 0
 	c.accelFactor = 0
+	c.firePhase(PhaseProfiling, PhaseTiered)
 	if c.hooks.OnConverged != nil {
 		c.hooks.OnConverged(c.pd, a, c.tiered)
 	}
@@ -268,4 +287,5 @@ func (c *Controller) startReprofile() {
 	c.phase = PhaseProfiling
 	c.stable = 0
 	c.reprofiles++
+	c.firePhase(PhaseTiered, PhaseProfiling)
 }

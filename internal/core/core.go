@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 
+	"toss/internal/access"
 	"toss/internal/binpack"
 	"toss/internal/costmodel"
 	"toss/internal/damon"
@@ -131,6 +132,10 @@ type ProfileData struct {
 	// pattern with its sequence number — the hook persistence layers use
 	// to store the per-invocation access files (§VI-A).
 	OnPattern func(seq int, p damon.Pattern)
+	// OnProfiled, when set, additionally receives the invocation's exact
+	// ground-truth access histogram alongside the pattern — the join the
+	// DAMON-accuracy audit (internal/obs) scores.
+	OnProfiled func(seq int, p damon.Pattern, truth *access.Histogram)
 	// damonSeq seeds DAMON's sampling noise differently per invocation.
 	damonSeq int64
 }
@@ -155,6 +160,7 @@ func NewProfileDataTraced(cfg Config, spec *workload.Spec, lv workload.Level, se
 		return nil, microvm.Result{}, err
 	}
 	vm := microvm.NewBooted(cfg.VM, layout)
+	vm.SetLabel(spec.Name)
 	vm.SetRecordTruth(false) // profiling starts with the second invocation
 	res, err := vm.RunTraced(tr, span)
 	if err != nil {
@@ -233,6 +239,9 @@ func (pd *ProfileData) ProfileInvocationTraced(cfg Config, lv workload.Level, se
 	pd.Profiled++
 	if pd.OnPattern != nil {
 		pd.OnPattern(pd.Profiled, pattern)
+	}
+	if pd.OnProfiled != nil {
+		pd.OnProfiled(pd.Profiled, pattern, res.Truth)
 	}
 	if res.Exec > pd.Largest.Exec {
 		pd.Largest = LargestInput{Level: lv, Seed: seed, Exec: res.Exec}
@@ -335,6 +344,7 @@ func Analyze(cfg Config, pd *ProfileData) (*Analysis, error) {
 	run := func(slowRegions []guest.Region) (simtime.Duration, error) {
 		placement := mem.NewPlacement(slowRegions)
 		vm := microvm.NewResident(cfg.VM, pd.Layout, placement, 1)
+		vm.SetLabel(pd.Spec.Name + "/binprof")
 		vm.SetRecordTruth(false)
 		res, err := vm.Run(tr)
 		if err != nil {

@@ -106,6 +106,27 @@ func (p Pattern) TotalPages() int64 {
 	return n
 }
 
+// CountAt returns the pattern's estimated per-page access count for page pg,
+// or 0 when no record covers it. Records are produced sorted by start
+// address (Profile and Unified.Regions both guarantee it), so the lookup is
+// a binary search.
+func (p Pattern) CountAt(pg guest.PageID) int64 {
+	lo, hi := 0, len(p.Records)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := p.Records[mid].Region
+		switch {
+		case pg < r.Start:
+			hi = mid
+		case pg >= r.End():
+			lo = mid + 1
+		default:
+			return p.Records[mid].NrAccesses
+		}
+	}
+	return 0
+}
+
 // ToHistogram expands the region records back to per-page counts.
 func (p Pattern) ToHistogram() *access.Histogram {
 	h := access.NewHistogram()

@@ -54,6 +54,11 @@ func Fig7SetupTime(s *Suite) (*Table, error) {
 		}
 		dram := float64(s.Core.VM.VMLoadBase + s.Core.VM.MmapCost)
 		tossSetup := float64(microvm.RestoreTiered(s.Core.VM, layout, b.tiered, 1).SetupTime())
+		// Land the measured placement on the flight recorder's timeline and
+		// advance its clock by the measured setup, so fig7 runs show up on
+		// the residency heatmap.
+		s.Obs.ObservePlacement(spec.Name, b.analysis.Placement.SlowRegions(), layout.TotalPages, "fig7")
+		s.Obs.Advance(simtime.Duration(tossSetup))
 
 		var reapSetups []float64
 		for _, snapLv := range AllLevels {
@@ -231,6 +236,9 @@ func Fig9Scalability(s *Suite) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			s.Obs.ObservePlacement(spec.Name, b.analysis.Placement.SlowRegions(),
+				layout.TotalPages, fmt.Sprintf("fig9/conc=%d", conc))
+			s.Obs.Advance(simtime.Duration(tossExec))
 			bestExec, err := runExec(microvm.RestoreREAP(s.Core.VM, mBest.Layout(), mBest.Snapshot(), mBest.WorkingSet(), conc))
 			if err != nil {
 				return nil, err

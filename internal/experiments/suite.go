@@ -16,6 +16,7 @@ import (
 	"toss/internal/core"
 	"toss/internal/mem"
 	"toss/internal/microvm"
+	"toss/internal/obs"
 	"toss/internal/simtime"
 	"toss/internal/snapshot"
 	"toss/internal/workload"
@@ -31,6 +32,10 @@ type Suite struct {
 	Iterations int
 	// BaseSeed makes the whole suite deterministic.
 	BaseSeed int64
+	// Obs, when set, records tier placements and measured phases of the
+	// observability-wired experiments (Fig. 7/9) on its residency timelines.
+	// Attach with SetRecorder so machine-level observations flow too.
+	Obs *obs.Recorder
 
 	builds map[string]*build
 }
@@ -57,6 +62,19 @@ func NewSuite() *Suite {
 		BaseSeed:   1,
 		builds:     make(map[string]*build),
 	}
+}
+
+// SetRecorder attaches a flight recorder to the suite: experiment-built
+// machines report restores and faults to it (via the microvm observer), and
+// the wired experiments push placements and advance its virtual clock. Call
+// before Run; pass nil to detach.
+func (s *Suite) SetRecorder(r *obs.Recorder) {
+	s.Obs = r
+	if r == nil {
+		s.Core.VM.Observer = nil // avoid a typed-nil interface
+		return
+	}
+	s.Core.VM.Observer = r
 }
 
 // AllLevels is the paper's full input mix; LevelIVOnly is the input-IV-only

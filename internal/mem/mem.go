@@ -326,3 +326,13 @@ func (pl *Placement) SlowShare(totalPages int64) float64 {
 	}
 	return float64(pl.SlowPages()) / float64(totalPages)
 }
+
+// FastShare returns the fraction of a guest with totalPages pages that this
+// placement keeps in the fast tier — the complement of SlowShare, which the
+// tier-residency heatmaps shade by.
+func (pl *Placement) FastShare(totalPages int64) float64 {
+	if totalPages <= 0 {
+		return 0
+	}
+	return 1 - pl.SlowShare(totalPages)
+}

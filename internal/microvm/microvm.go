@@ -65,6 +65,27 @@ type Config struct {
 	// every machine built with this config. Nil (the default) disables
 	// metric recording at the cost of one pointer comparison per site.
 	Metrics *telemetry.Metrics
+	// Observer, when non-nil, receives lifecycle callbacks (restore
+	// placements, demand-fault stalls) from every machine built with this
+	// config — the flight recorder in internal/obs implements it. Nil (the
+	// default) disables observation at the cost of one interface comparison
+	// per site.
+	Observer Observer
+}
+
+// Observer receives machine lifecycle callbacks. Implementations must be
+// safe for concurrent use: machines running on different goroutines share
+// one Observer. internal/obs.Recorder is the canonical implementation.
+type Observer interface {
+	// MachineRestored fires once per Run, before the first event executes.
+	// kind names the setup flavor ("boot", "restore-lazy", "restore-reap",
+	// "restore-tiered", or "resident"); slow lists the slow-tier regions of
+	// the machine's placement (shared — do not mutate).
+	MachineRestored(label, kind string, slow []guest.Region, totalPages int64, setup simtime.Duration)
+	// FaultStall fires once per demand-fault burst with the tier that served
+	// it and the stall cost; at is the burst's start on the machine-local
+	// virtual timeline (0 = setup start).
+	FaultStall(label string, tier mem.Tier, region guest.Region, major, minor int64, cost, at simtime.Duration)
 }
 
 // DefaultConfig returns the calibrated platform.
@@ -141,6 +162,9 @@ type Machine struct {
 	setupKind telemetry.SpanKind
 	setupName string
 	parts     []setupPart
+	// label identifies the machine to observers, normally the function
+	// name. Restores inherit it from the snapshot's Function field.
+	label string
 }
 
 // setupPart is one component of the setup-time breakdown, in order.
@@ -154,6 +178,14 @@ type setupPart struct {
 // SetRecordTruth enables or disables ground-truth histogram collection for
 // subsequent Run calls. It is on by default.
 func (m *Machine) SetRecordTruth(on bool) { m.recordTruth = on }
+
+// SetLabel names the machine for observers (usually the function it serves).
+// Restore constructors set it from the snapshot's Function field; booted and
+// resident machines start unlabeled.
+func (m *Machine) SetLabel(label string) { m.label = label }
+
+// Label returns the observer label.
+func (m *Machine) Label() string { return m.label }
 
 // NewBooted returns a freshly booted DRAM-only machine (the paper's Step I).
 func NewBooted(cfg Config, layout guest.Layout) *Machine {
@@ -187,6 +219,7 @@ func RestoreLazy(cfg Config, layout guest.Layout, snap *snapshot.Single, concurr
 		stored:      newBitset(layout.TotalPages),
 		concurrency: clampConc(concurrency),
 		recordTruth: true,
+		label:       snap.Function,
 	}
 	for _, r := range snap.Memory.ResidentRegions() {
 		m.stored.setRange(r)
@@ -242,6 +275,7 @@ func RestoreTiered(cfg Config, layout guest.Layout, ts *snapshot.Tiered, concurr
 		stored:      newBitset(layout.TotalPages),
 		concurrency: clampConc(concurrency),
 		recordTruth: true,
+		label:       ts.Function,
 	}
 	for _, e := range ts.Entries {
 		m.stored.setRange(e.GuestRegion())
@@ -342,6 +376,14 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 	if met != nil {
 		faultHist = met.Histogram(telemetry.MetricFaultLatency, telemetry.LatencyBuckets())
 	}
+	ob := m.cfg.Observer
+	if ob != nil {
+		kind := m.setupName
+		if kind == "" {
+			kind = "resident"
+		}
+		ob.MachineRestored(m.label, kind, m.placement.SlowRegions(), m.layout.TotalPages, m.setup)
+	}
 	var execSpan *telemetry.Span
 	if span != nil {
 		if m.setup > 0 || len(m.parts) > 0 {
@@ -376,6 +418,9 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 					fs.EndAt(m.setup + clock.Now() + cost)
 				}
 				faultHist.Observe(cost.Nanoseconds())
+				if ob != nil {
+					ob.FaultStall(m.label, seg.Tier, seg.Region, major, minor, cost, m.setup+clock.Now())
+				}
 				clock.Advance(cost)
 				res.FaultTime += cost
 				res.MajorFaults += major

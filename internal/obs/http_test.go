@@ -1,0 +1,77 @@
+package obs_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestDashboardEndpoints(t *testing.T) {
+	rec := miniRun(t)
+	srv := httptest.NewServer(rec.Handler())
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/timeseries.json") {
+		t.Errorf("index: code=%d body=%q", code, body)
+	}
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics code=%d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "toss_obs_restores") {
+		t.Error("/metrics missing recorder families")
+	}
+
+	code, body, hdr = get(t, srv, "/timeseries.json")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
+		t.Errorf("/timeseries.json code=%d ct=%q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, `"timelines":[`) {
+		t.Error("/timeseries.json missing timelines")
+	}
+
+	code, body, _ = get(t, srv, "/heatmap")
+	if code != http.StatusOK || !strings.Contains(body, "<!DOCTYPE html>") ||
+		!strings.Contains(body, "pyaes") {
+		t.Errorf("/heatmap code=%d", code)
+	}
+	if strings.Contains(body, "<script") {
+		t.Error("/heatmap must be self-contained with no scripts")
+	}
+
+	code, body, _ = get(t, srv, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz code=%d body=%q", code, body)
+	}
+
+	code, body, _ = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ code=%d", code)
+	}
+
+	code, _, _ = get(t, srv, "/no-such-page")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown path code=%d, want 404", code)
+	}
+}

@@ -13,8 +13,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"toss/internal/access"
 	"toss/internal/core"
+	"toss/internal/damon"
 	"toss/internal/microvm"
+	"toss/internal/obs"
 	"toss/internal/reap"
 	"toss/internal/simtime"
 	"toss/internal/snapshot"
@@ -67,6 +70,12 @@ type Platform struct {
 	// only deterministic when invocations are serialized; run Replay with one
 	// worker for byte-identical traces.
 	tracer *telemetry.Tracer
+
+	// recorder, when set, receives machine restore/fault observations, TOSS
+	// controller phase/placement transitions, and DAMON-accuracy audits, and
+	// has its virtual clock advanced by each invocation's duration. Like the
+	// tracer, deterministic output needs serialized invocations.
+	recorder *obs.Recorder
 }
 
 // SetTracer attaches a tracer; each invocation becomes one root span with
@@ -77,6 +86,19 @@ func (p *Platform) SetTracer(t *telemetry.Tracer) { p.tracer = t }
 // Metrics returns the metrics registry invocations record into (nil unless
 // the configuration attached one via cfg.VM.Metrics).
 func (p *Platform) Metrics() *telemetry.Metrics { return p.cfg.VM.Metrics }
+
+// SetRecorder attaches a flight recorder; it also becomes the microvm
+// observer so demand faults and restores land on the residency timelines.
+// Call before Register — TOSS controllers wire their phase and audit hooks
+// to the recorder at registration time. Pass nil to detach.
+func (p *Platform) SetRecorder(r *obs.Recorder) {
+	p.recorder = r
+	if r == nil {
+		p.cfg.VM.Observer = nil // avoid a typed-nil interface in the hot path
+		return
+	}
+	p.cfg.VM.Observer = r
+}
 
 type functionState struct {
 	mu   sync.Mutex
@@ -142,6 +164,20 @@ func (p *Platform) Register(spec *workload.Spec, mode Mode) error {
 		c, err := core.NewController(p.cfg, spec)
 		if err != nil {
 			return err
+		}
+		if r := p.recorder; r != nil {
+			name := spec.Name
+			c.SetHooks(core.Hooks{
+				OnPhase: func(from, to core.Phase, inv int64) {
+					r.ObservePhase(name, from.String(), to.String(), inv)
+				},
+				OnProfiled: func(seq int, pat damon.Pattern, truth *access.Histogram) {
+					r.AuditDAMON(name, seq, pat, truth)
+				},
+				OnConverged: func(_ *core.ProfileData, a *core.Analysis, ts *snapshot.Tiered) {
+					r.ObservePlacement(name, a.Placement.SlowRegions(), ts.GuestPages, "converged")
+				},
+			})
 		}
 		fs.toss = c
 	case ModeREAP:
@@ -268,7 +304,9 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 	return p.finish(fs, rec, span)
 }
 
-// finish closes the invocation's root span and records platform metrics.
+// finish closes the invocation's root span and records platform metrics,
+// then advances the flight recorder's virtual clock by the invocation's
+// duration so samples land on the platform's accumulated timeline.
 func (p *Platform) finish(fs *functionState, rec Record, span *telemetry.Span) Record {
 	span.EndAt(rec.Total())
 	if met := p.cfg.VM.Metrics; met != nil {
@@ -279,6 +317,9 @@ func (p *Platform) finish(fs *functionState, rec Record, span *telemetry.Span) R
 			met.Counter(telemetry.MetricBilledTime).Add(rec.Total().Nanoseconds())
 			met.Counter(telemetry.MetricPlatformFaults).Add(rec.Faults)
 		}
+	}
+	if rec.Err == nil {
+		p.recorder.Advance(rec.Total())
 	}
 	return rec
 }
@@ -295,6 +336,7 @@ func (p *Platform) invokeDRAM(fs *functionState, lv workload.Level, seed int64, 
 	}
 	if fs.dramSnap == nil {
 		vm := microvm.NewBooted(p.cfg.VM, layout)
+		vm.SetLabel(fs.spec.Name)
 		res, err := vm.RunTraced(tr, span)
 		if err != nil {
 			return microvm.Result{}, err

@@ -49,6 +49,7 @@ func (m *FaaSnapManager) InvokeTraced(lv workload.Level, seed int64, concurrency
 		return Result{}, err
 	}
 	vm := microvm.NewBooted(m.cfg, m.layout)
+	vm.SetLabel(m.spec.Name)
 	vm.SetRecordTruth(false)
 	res, err := vm.RunTraced(tr, span)
 	if err != nil {

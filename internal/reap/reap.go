@@ -100,6 +100,7 @@ func (m *Manager) InvokeTraced(lv workload.Level, seed int64, concurrency int, s
 	}
 	if m.snap == nil {
 		vm := microvm.NewBooted(m.cfg, m.layout)
+		vm.SetLabel(m.spec.Name)
 		vm.SetRecordTruth(false) // REAP only needs the trace's touched set
 		res, err := vm.RunTraced(tr, span)
 		if err != nil {

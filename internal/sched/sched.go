@@ -20,6 +20,7 @@ import (
 
 	"toss/internal/core"
 	"toss/internal/keepalive"
+	"toss/internal/obs"
 	"toss/internal/predict"
 	"toss/internal/simtime"
 	"toss/internal/telemetry"
@@ -286,11 +287,22 @@ type Sim struct {
 	// appear as children. The simulator is single-threaded, so traces are
 	// deterministic by construction.
 	tracer *telemetry.Tracer
+
+	// recorder, when set, has its virtual clock driven by the event loop.
+	recorder *obs.Recorder
 }
 
 // SetTracer attaches a tracer recording one root span per dispatched
 // invocation on the global virtual timeline. Pass nil to disable.
 func (s *Sim) SetTracer(t *telemetry.Tracer) { s.tracer = t }
+
+// SetRecorder attaches a flight recorder whose virtual clock follows the
+// simulator's global event clock: after every processed event the recorder
+// is advanced to the event's time, sampling each crossed interval boundary.
+// Set cfg.Core.VM.Observer to the same recorder (before New) to also land
+// machine-level fault/restore observations on its residency timelines.
+// Pass nil to disable.
+func (s *Sim) SetRecorder(r *obs.Recorder) { s.recorder = r }
 
 // met returns the metrics registry (nil when the config has none attached).
 func (s *Sim) met() *telemetry.Metrics { return s.cfg.Core.VM.Metrics }
@@ -355,6 +367,7 @@ func (s *Sim) Run(arrivals []trace.Arrival) (*Report, error) {
 		if s.now > s.report.Horizon {
 			s.report.Horizon = s.now
 		}
+		s.recorder.RecordAt(s.now)
 	}
 	if s.cache != nil {
 		s.report.CacheStats = s.cache.Stats()

@@ -235,8 +235,11 @@ type histSnap struct {
 	n, sum, min, max int64
 }
 
-// ExpBuckets returns n bucket bounds starting at first and growing by
-// factor, rounded to integers — the standard latency bucket layout.
+// ExpBuckets returns up to n bucket bounds starting at first and growing by
+// factor, rounded to integers — the standard latency bucket layout. Bounds
+// saturate at math.MaxInt64: once the ceiling is reached, generation stops,
+// so the result may hold fewer than n bounds but is always strictly
+// ascending.
 func ExpBuckets(first int64, factor float64, n int) []int64 {
 	if first < 1 {
 		first = 1
@@ -244,11 +247,17 @@ func ExpBuckets(first int64, factor float64, n int) []int64 {
 	if factor <= 1 {
 		factor = 2
 	}
-	out := make([]int64, 0, n)
+	out := make([]int64, 0, max(n, 0))
 	v := float64(first)
 	for i := 0; i < n; i++ {
-		b := int64(v + 0.5)
+		b := int64(math.MaxInt64)
+		if v+0.5 < float64(math.MaxInt64) {
+			b = int64(v + 0.5)
+		}
 		if len(out) > 0 && b <= out[len(out)-1] {
+			if out[len(out)-1] == math.MaxInt64 {
+				break
+			}
 			b = out[len(out)-1] + 1
 		}
 		out = append(out, b)
@@ -261,12 +270,19 @@ func ExpBuckets(first int64, factor float64, n int) []int64 {
 // latencies: 24 exponential buckets from 100 ns to ~0.8 s.
 func LatencyBuckets() []int64 { return ExpBuckets(100, 2, 24) }
 
-// LinearBuckets returns n bounds first, first+step, ... — for small counts
-// like queue depths.
+// LinearBuckets returns up to n bounds first, first+step, ... — for small
+// counts like queue depths. Generation stops before an int64 overflow would
+// wrap, so the result may hold fewer than n bounds.
 func LinearBuckets(first, step int64, n int) []int64 {
-	out := make([]int64, 0, n)
+	out := make([]int64, 0, max(n, 0))
+	v := first
 	for i := 0; i < n; i++ {
-		out = append(out, first+int64(i)*step)
+		out = append(out, v)
+		next := v + step
+		if (step > 0 && next < v) || (step < 0 && next > v) {
+			break
+		}
+		v = next
 	}
 	return out
 }
@@ -371,6 +387,167 @@ func (m *Metrics) Dump() string {
 				stats.Mean(means), stats.Max(means))
 		}
 	}
+	return b.String()
+}
+
+// Kind discriminates instrument types during Each iteration.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing Counter.
+	KindCounter Kind = iota
+	// KindGauge is a point-in-time Gauge.
+	KindGauge
+	// KindHistogram is a fixed-bucket Histogram.
+	KindHistogram
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Sample is a point-in-time copy of one instrument's state as delivered to
+// Each callbacks. Counters fill Value; gauges fill Value (last set), Min and
+// Max; histograms fill Count, Sum, Min, Max and the Bounds/Counts pair
+// (Counts has one extra slot for overflows). Bounds and Counts are private
+// copies the callback may keep.
+type Sample struct {
+	Value      int64
+	Min, Max   int64
+	Count, Sum int64
+	Bounds     []int64
+	Counts     []int64
+}
+
+// Each calls fn once per instrument with a consistent point-in-time sample:
+// counters first, then gauges, then histograms, each group in sorted-name
+// order. The deterministic order is what the exporters and the flight
+// recorder in internal/obs rely on for byte-stable output. Nil-safe.
+func (m *Metrics) Each(fn func(name string, kind Kind, s Sample)) {
+	if m == nil {
+		return
+	}
+	type namedC struct {
+		name string
+		c    *Counter
+	}
+	type namedG struct {
+		name string
+		g    *Gauge
+	}
+	type namedH struct {
+		name string
+		h    *Histogram
+	}
+	m.mu.Lock()
+	ctrs := make([]namedC, 0, len(m.ctrs))
+	for _, n := range sortedKeys(m.ctrs) {
+		ctrs = append(ctrs, namedC{n, m.ctrs[n]})
+	}
+	gauges := make([]namedG, 0, len(m.gauges))
+	for _, n := range sortedKeys(m.gauges) {
+		gauges = append(gauges, namedG{n, m.gauges[n]})
+	}
+	hists := make([]namedH, 0, len(m.hists))
+	for _, n := range sortedKeys(m.hists) {
+		hists = append(hists, namedH{n, m.hists[n]})
+	}
+	m.mu.Unlock()
+
+	for _, e := range ctrs {
+		fn(e.name, KindCounter, Sample{Value: e.c.Value()})
+	}
+	for _, e := range gauges {
+		e.g.mu.Lock()
+		s := Sample{Value: e.g.last, Min: e.g.min, Max: e.g.max}
+		e.g.mu.Unlock()
+		fn(e.name, KindGauge, s)
+	}
+	for _, e := range hists {
+		hs := e.h.snapshot()
+		fn(e.name, KindHistogram, Sample{
+			Min: hs.min, Max: hs.max, Count: hs.n, Sum: hs.sum,
+			Bounds: hs.bounds, Counts: hs.counts,
+		})
+	}
+}
+
+// Reset zeroes every instrument in place. Instrument identities survive, so
+// handles cached by hot paths keep working and record into the fresh state —
+// tossctl reuses one registry across experiments this way. Histogram bucket
+// bounds are kept. Nil-safe.
+func (m *Metrics) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	ctrs := make([]*Counter, 0, len(m.ctrs))
+	for _, c := range m.ctrs {
+		ctrs = append(ctrs, c)
+	}
+	gauges := make([]*Gauge, 0, len(m.gauges))
+	for _, g := range m.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(m.hists))
+	for _, h := range m.hists {
+		hists = append(hists, h)
+	}
+	m.mu.Unlock()
+
+	for _, c := range ctrs {
+		c.v.Store(0)
+	}
+	for _, g := range gauges {
+		g.mu.Lock()
+		g.last, g.min, g.max, g.everSet = 0, 0, 0, false
+		g.mu.Unlock()
+	}
+	for _, h := range hists {
+		h.mu.Lock()
+		for i := range h.counts {
+			h.counts[i] = 0
+		}
+		h.n, h.sum, h.min, h.max = 0, 0, 0, 0
+		h.mu.Unlock()
+	}
+}
+
+// Labeled builds a labeled series name, name{k1="v1",k2="v2"}, from
+// alternating key/value pairs. The registry treats the result as an opaque
+// instrument name; the Prometheus exporter in internal/obs recognizes the
+// {...} suffix and re-emits it as a label block. Keys and values must not
+// contain '{', '}', '"', or ','. Label order is preserved verbatim, so call
+// sites must use one fixed key order per series for updates to aggregate
+// into a single instrument.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 2 + len(kv)*8)
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(kv[i+1])
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
 	return b.String()
 }
 

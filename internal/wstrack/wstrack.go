@@ -28,6 +28,16 @@ func WorkingSetPages(tr *access.Trace) int64 {
 	return tr.FootprintPages()
 }
 
+// AccessCounts returns the exact per-page access-count histogram of a trace
+// — the ground truth that DAMON's region-based estimate approximates. The
+// DAMON-accuracy audit (internal/obs) joins this against a damon.Pattern to
+// score the profiler.
+func AccessCounts(tr *access.Trace) *access.Histogram {
+	h := access.NewHistogram()
+	h.AddTrace(tr)
+	return h
+}
+
 // WorkingSetMincore returns the mincore-style working set: the touched
 // pages inflated by host readahead. mincore() reports what sits in the host
 // page cache, and the kernel's readahead both rounds faults to small
