@@ -22,7 +22,7 @@
 //	faasim [-mode toss|reap|dram] [-requests N] [-workers N] [-functions a,b,c]
 //	       [-trace out.json] [-trace-format chrome|jsonl] [-flame]
 //	       [-http :8080] [-prom out.prom] [-csv out.csv] [-heatmap]
-//	       [-record-interval 100ms]
+//	       [-record-interval 100ms] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -31,6 +31,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -58,7 +60,21 @@ func main() {
 	csvOut := flag.String("csv", "", "write the sampled series as CSV to this file (forces -workers 1)")
 	heatmap := flag.Bool("heatmap", false, "print the ASCII tier-residency heatmap (forces -workers 1)")
 	recordInterval := flag.Duration("record-interval", 100*time.Millisecond, "flight-recorder sampling cadence in virtual time")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the replay")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faasim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "faasim:", err)
+			os.Exit(1)
+		}
+	}
 
 	var mode platform.Mode
 	switch *modeFlag {
@@ -163,6 +179,21 @@ func main() {
 	fmt.Printf("replaying %d requests over %d workers in %s mode...\n\n",
 		len(reqs), *workers, mode)
 	records := p.Replay(reqs, *workers)
+
+	// Profiles cover the replay itself, not the report/serve tail (which can
+	// block forever under -http).
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if err := writeExport(*memprofile, func(f *os.File) error {
+			runtime.GC()
+			return pprof.WriteHeapProfile(f)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "faasim:", err)
+			os.Exit(1)
+		}
+	}
 
 	var failed int
 	for _, r := range records {

@@ -7,12 +7,20 @@
 //
 // Experiment ids follow DESIGN.md's per-experiment index: table1, fig1,
 // fig2, fig3, fig5, table2, fig6, fig7, fig8, fig9, sec6c3a, sec6c3b.
+//
+// With -parallel N the experiments (and the heavy per-cell sweeps inside
+// them) fan out over a bounded worker pool; results are folded in input
+// order, so the rendered tables are byte-identical to a serial run.
+// -metrics forces serial execution (the telemetry sink records events in
+// arrival order). -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"toss/internal/experiments"
@@ -20,6 +28,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	iters := flag.Int("iters", 5, "measurement repetitions per data point (paper uses 10)")
 	window := flag.Int("window", 12, "profiling convergence window (paper uses 100)")
 	seed := flag.Int64("seed", 1, "base seed for all deterministic randomness")
@@ -27,7 +39,10 @@ func main() {
 	threshold := flag.Float64("threshold", 0, "slowdown threshold (0 disables; e.g. 0.1 = 10%)")
 	timing := flag.Bool("timing", false, "print wall-clock timing per experiment")
 	format := flag.String("format", "table", "output format: table, csv, or json")
-	metrics := flag.Bool("metrics", false, "collect telemetry metrics and dump them after the run")
+	metrics := flag.Bool("metrics", false, "collect telemetry metrics and dump them after the run (forces -parallel 1)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker pool size (1 = serial; output is identical either way)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tossctl [flags] <experiment>... | all | list\n\nexperiments: %v\n\nflags:\n", experiments.IDs())
 		flag.PrintDefaults()
@@ -35,7 +50,34 @@ func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tossctl:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tossctl:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tossctl:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tossctl:", err)
+			}
+		}()
 	}
 
 	suite := experiments.NewSuite()
@@ -43,6 +85,7 @@ func main() {
 	suite.Core.ConvergenceWindow = *window
 	suite.BaseSeed = *seed
 	suite.Core.SlowdownThreshold = *threshold
+	suite.Workers = *parallel
 	if *ratio != 2.5 {
 		m := suite.Core.Cost
 		m.CostSlow = m.CostFast / *ratio
@@ -51,6 +94,9 @@ func main() {
 
 	var met *telemetry.Metrics
 	if *metrics {
+		// Attaching a metrics sink makes Suite.Pool serial, so the
+		// per-experiment dump/reset cycle below observes one experiment at
+		// a time.
 		met = telemetry.NewMetrics()
 		suite.Core.VM.Metrics = met
 	}
@@ -62,7 +108,7 @@ func main() {
 			for _, id := range experiments.IDs() {
 				fmt.Println(id)
 			}
-			return
+			return 0
 		case "all":
 			ids = experiments.IDs()
 		}
@@ -73,44 +119,84 @@ func main() {
 		if !experiments.Known(id) {
 			fmt.Fprintf(os.Stderr, "tossctl: unknown experiment %q\n\n", id)
 			flag.Usage()
-			os.Exit(2)
+			return 2
 		}
 	}
 
-	for _, id := range ids {
-		start := time.Now()
-		t, err := suite.Run(id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tossctl: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		var out string
+	// Validate the format before spending minutes computing tables.
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "tossctl: unknown format %q\n", *format)
+		return 2
+	}
+	render := func(t *experiments.Table) (string, error) {
 		switch *format {
-		case "table":
-			out = t.String()
 		case "csv":
-			out, err = t.CSV()
+			return t.CSV()
 		case "json":
-			out, err = t.JSON()
+			return t.JSON()
 		default:
-			fmt.Fprintf(os.Stderr, "tossctl: unknown format %q\n", *format)
-			os.Exit(2)
+			return t.String(), nil
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tossctl: %s: render: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Println(out)
-		if *timing {
-			fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
-		}
-		// Per-experiment metrics: dump, then reset in place so cached
-		// instrument handles inside the suite stay live for the next id.
-		if met != nil {
+	}
+
+	if met != nil {
+		// Per-experiment metrics: run one id at a time, dump, then reset in
+		// place so cached instrument handles inside the suite stay live.
+		for _, id := range ids {
+			code := runOne(suite, id, *timing, render)
+			if code != 0 {
+				return code
+			}
 			fmt.Printf("=== metrics: %s ===\n", id)
 			fmt.Print(met.Dump())
 			fmt.Println()
 			met.Reset()
 		}
+		return 0
 	}
+
+	start := time.Now()
+	timed, err := suite.RunTimed(ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tossctl: %v\n", err)
+		return 1
+	}
+	for _, r := range timed {
+		out, err := render(r.Table)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tossctl: %s: render: %v\n", r.ID, err)
+			return 1
+		}
+		fmt.Println(out)
+		if *timing {
+			fmt.Printf("[%s took %v]\n\n", r.ID, r.Elapsed.Round(time.Millisecond))
+		}
+	}
+	if *timing {
+		fmt.Printf("[%d experiments took %v over %d workers]\n",
+			len(timed), time.Since(start).Round(time.Millisecond), suite.Pool().Workers())
+	}
+	return 0
+}
+
+// runOne executes and renders a single experiment (metrics mode).
+func runOne(suite *experiments.Suite, id string, timing bool, render func(*experiments.Table) (string, error)) int {
+	start := time.Now()
+	t, err := suite.Run(id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tossctl: %s: %v\n", id, err)
+		return 1
+	}
+	out, err := render(t)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tossctl: %s: render: %v\n", id, err)
+		return 1
+	}
+	fmt.Println(out)
+	if timing {
+		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
 }

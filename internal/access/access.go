@@ -13,6 +13,7 @@ package access
 
 import (
 	"fmt"
+	"sync"
 
 	"toss/internal/guest"
 )
@@ -122,6 +123,15 @@ func (e Event) TouchesPerPage() int64 {
 // behaviour.
 type Trace struct {
 	Events []Event
+
+	// Derived-view memos. Events only ever grows (Append is the sole
+	// mutator), so each memo records the event count it was computed at
+	// and is recomputed when the trace has grown since.
+	memoMu   sync.Mutex
+	pagesAt  int
+	pages    []guest.Region
+	countsAt int
+	counts   *Histogram
 }
 
 // Append adds an event, panicking on malformed events so workload bugs
@@ -144,18 +154,50 @@ func (t *Trace) Validate() error {
 }
 
 // Pages returns the set of distinct pages the trace touches, as a normalized
-// region list.
+// region list. The result is memoized and shared — treat it as read-only.
 func (t *Trace) Pages() []guest.Region {
+	t.memoMu.Lock()
+	defer t.memoMu.Unlock()
+	if t.pages != nil && t.pagesAt == len(t.Events) {
+		return t.pages
+	}
 	regions := make([]guest.Region, 0, len(t.Events))
 	for _, e := range t.Events {
 		regions = append(regions, e.Region)
 	}
-	return guest.NormalizeRegions(regions)
+	t.pages = guest.NormalizeRegions(regions)
+	t.pagesAt = len(t.Events)
+	return t.pages
 }
 
 // FootprintPages returns the number of distinct pages touched.
 func (t *Trace) FootprintPages() int64 {
 	return guest.TotalPages(t.Pages())
+}
+
+// Counts returns the trace's per-page access histogram — the ground truth
+// every profiler (DAMON, wstrack) and every truth-recording replay derives.
+// The histogram is memoized and shared between callers — treat it as
+// read-only; use Clone before mutating.
+func (t *Trace) Counts() *Histogram {
+	t.memoMu.Lock()
+	defer t.memoMu.Unlock()
+	if t.counts != nil && t.countsAt == len(t.Events) {
+		return t.counts
+	}
+	var end guest.PageID
+	for _, e := range t.Events {
+		if e.Region.End() > end {
+			end = e.Region.End()
+		}
+	}
+	h := NewHistogramSized(int64(end))
+	for _, e := range t.Events {
+		h.AddEvent(e)
+	}
+	t.counts = h
+	t.countsAt = len(t.Events)
+	return h
 }
 
 // Histogram accumulates per-page access counts — the ground truth that the
@@ -173,6 +215,16 @@ type Histogram struct {
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram { return &Histogram{} }
+
+// NewHistogramSized returns an empty histogram whose backing store already
+// covers pages [0, pages), avoiding the grow-doubling copies when the
+// caller knows the address-space bound up front.
+func NewHistogramSized(pages int64) *Histogram {
+	if pages <= 0 {
+		return &Histogram{}
+	}
+	return &Histogram{counts: make([]int64, pages)}
+}
 
 // grow ensures the backing slice covers page p.
 func (h *Histogram) grow(p guest.PageID) {

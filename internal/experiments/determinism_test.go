@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"toss/internal/obs"
+	"toss/internal/par"
+	"toss/internal/simtime"
+	"toss/internal/telemetry"
+	"toss/internal/workload"
+)
+
+// TestParallelRunAllByteIdentical is the engine's core guarantee: the whole
+// suite run over an 8-worker pool renders every table — ASCII, CSV, and
+// JSON — byte-for-byte identical to a serial run. Under -race this doubles
+// as the concurrency exercise for the pool, the singleflight build cache,
+// and the trace/layout/region memos.
+func TestParallelRunAllByteIdentical(t *testing.T) {
+	serial := NewSuite()
+	serialTables, err := serial.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := NewSuite()
+	parallel.Workers = 8
+	if parallel.Pool() == par.Serial {
+		t.Fatal("Workers=8 suite should not run on the serial pool")
+	}
+	parTables, err := parallel.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serialTables) != len(parTables) {
+		t.Fatalf("serial produced %d tables, parallel %d", len(serialTables), len(parTables))
+	}
+	for i, st := range serialTables {
+		pt := parTables[i]
+		if st.ID != pt.ID {
+			t.Fatalf("table %d: serial id %s, parallel id %s", i, st.ID, pt.ID)
+		}
+		if st.String() != pt.String() {
+			t.Errorf("%s: ASCII rendering differs between serial and parallel runs", st.ID)
+		}
+		sc, err1 := st.CSV()
+		pc, err2 := pt.CSV()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: csv render: %v %v", st.ID, err1, err2)
+		}
+		if sc != pc {
+			t.Errorf("%s: CSV rendering differs between serial and parallel runs", st.ID)
+		}
+		sj, err1 := st.JSON()
+		pj, err2 := pt.JSON()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: json render: %v %v", st.ID, err1, err2)
+		}
+		if sj != pj {
+			t.Errorf("%s: JSON rendering differs between serial and parallel runs", st.ID)
+		}
+	}
+}
+
+// TestPoolSerialWhenObserved pins the faasim rule carried over to the
+// suite: any attached recorder, observer, or metrics sink forces the pool
+// serial so observation order stays deterministic.
+func TestPoolSerialWhenObserved(t *testing.T) {
+	plain := NewSuite()
+	plain.Workers = 8
+	if plain.Pool() == par.Serial {
+		t.Error("plain Workers=8 suite should get a parallel pool")
+	}
+	if got := plain.Pool().Workers(); got != 8 {
+		t.Errorf("pool workers = %d, want 8", got)
+	}
+
+	recorded := NewSuite()
+	recorded.Workers = 8
+	recorded.SetRecorder(obs.New(obs.Config{Interval: simtime.Millisecond}))
+	if recorded.Pool() != par.Serial {
+		t.Error("suite with a recorder attached must run serially")
+	}
+
+	metered := NewSuite()
+	metered.Workers = 8
+	metered.Core.VM.Metrics = telemetry.NewMetrics()
+	if metered.Pool() != par.Serial {
+		t.Error("suite with a metrics sink attached must run serially")
+	}
+
+	single := NewSuite()
+	single.Workers = 1
+	if single.Pool() != par.Serial {
+		t.Error("Workers=1 suite must use the serial pool")
+	}
+}
+
+// TestRunManyReportsCompleted covers the error path: a failing experiment
+// names itself and lists the experiments that did finish, and the returned
+// prefix holds their tables.
+func TestRunManyReportsCompleted(t *testing.T) {
+	s := NewSuite()
+	tables, err := s.RunMany([]string{"table1", "definitely-not-an-experiment", "fig1"})
+	if err == nil {
+		t.Fatal("expected an error for the unknown experiment id")
+	}
+	if !strings.Contains(err.Error(), "definitely-not-an-experiment") {
+		t.Errorf("error does not name the failing experiment: %v", err)
+	}
+	if !strings.Contains(err.Error(), "completed: table1") {
+		t.Errorf("error does not list completed experiments: %v", err)
+	}
+	if len(tables) != 1 || tables[0] == nil || tables[0].ID != "table1" {
+		t.Fatalf("expected the completed prefix [table1], got %d tables", len(tables))
+	}
+}
+
+// TestParallelBuildSingleflight hammers the build cache from 8 workers:
+// every worker asks for the same (function, levels) build, exactly one
+// pipeline run must happen, and all callers share its outcome.
+func TestParallelBuildSingleflight(t *testing.T) {
+	s := NewSuite()
+	s.Workers = 8
+	spec := workload.ByNameMust("json_load_dump")
+	builds, err := par.Map(s.Pool(), make([]struct{}, 16), func(int, struct{}) (*build, error) {
+		return s.buildFor(spec, AllLevels)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range builds {
+		if b == nil {
+			t.Fatalf("build %d is nil", i)
+		}
+		if b != builds[0] {
+			t.Errorf("build %d is a distinct pipeline outcome; singleflight failed", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"toss/internal/costmodel"
 	"toss/internal/mem"
 	"toss/internal/microvm"
+	"toss/internal/par"
 	"toss/internal/pricing"
 	"toss/internal/sched"
 	"toss/internal/simtime"
@@ -61,41 +62,58 @@ func ExtKeepAlive(s *Suite) (*Table, error) {
 			c.Prewarm = true
 		}},
 	}
+	// The nine (mechanism, config) simulations share nothing but the
+	// read-only arrival trace: fan them out, fold rows in combo order.
+	type combo struct {
+		mechanism sched.Mechanism
+		cfgIdx    int
+	}
+	var combos []combo
 	for _, mechanism := range []sched.Mechanism{sched.MechDRAM, sched.MechREAP, sched.MechTOSS} {
-		for _, cc := range configs {
-			cfg := sched.DefaultConfig()
-			cfg.Cores = 8
-			cfg.Core = s.Core
-			cfg.Mechanism = mechanism
-			cc.mutate(&cfg)
-			sim, err := sched.New(cfg, functions)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := sim.Run(arrivals)
-			if err != nil {
-				return nil, err
-			}
-			var warm, prewarmed int
-			var setupSum simtime.Duration
-			for _, r := range rep.Records {
-				setupSum += r.Setup
-				switch r.Start {
-				case sched.WarmStart:
-					warm++
-				case sched.PrewarmedStart:
-					prewarmed++
-				}
-			}
-			n := float64(len(rep.Records))
-			t.AddRow(mechanism.String(), cc.name,
-				fmt.Sprintf("%.0f%%", rep.ColdFraction()*100),
-				fmt.Sprintf("%.0f%%", float64(warm)/n*100),
-				fmt.Sprintf("%.0f%%", float64(prewarmed)/n*100),
-				fmt.Sprintf("%.2f", (simtime.Duration(int64(setupSum)/int64(n))).Milliseconds()),
-				fmt.Sprintf("%.1f", rep.LatencyPercentile(99).Milliseconds()),
-				rep.CacheStats.Evictions)
+		for i := range configs {
+			combos = append(combos, combo{mechanism, i})
 		}
+	}
+	rows, err := par.Map(s.Pool(), combos, func(_ int, c combo) ([]any, error) {
+		cc := configs[c.cfgIdx]
+		cfg := sched.DefaultConfig()
+		cfg.Cores = 8
+		cfg.Core = s.Core
+		cfg.Mechanism = c.mechanism
+		cc.mutate(&cfg)
+		sim, err := sched.New(cfg, functions)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sim.Run(arrivals)
+		if err != nil {
+			return nil, err
+		}
+		var warm, prewarmed int
+		var setupSum simtime.Duration
+		for _, r := range rep.Records {
+			setupSum += r.Setup
+			switch r.Start {
+			case sched.WarmStart:
+				warm++
+			case sched.PrewarmedStart:
+				prewarmed++
+			}
+		}
+		n := float64(len(rep.Records))
+		return []any{c.mechanism.String(), cc.name,
+			fmt.Sprintf("%.0f%%", rep.ColdFraction()*100),
+			fmt.Sprintf("%.0f%%", float64(warm)/n*100),
+			fmt.Sprintf("%.0f%%", float64(prewarmed)/n*100),
+			fmt.Sprintf("%.2f", (simtime.Duration(int64(setupSum) / int64(n))).Milliseconds()),
+			fmt.Sprintf("%.1f", rep.LatencyPercentile(99).Milliseconds()),
+			rep.CacheStats.Evictions}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("keep-alive slashes setup for REAP (big prefetches) but barely moves TOSS — tiered cold starts are already near-constant-time, the paper's pitch")
 	t.AddNote("caching is orthogonal: TOSS composes with it, keeping evicted VMs cheap to restore (§VI-A)")
@@ -171,6 +189,15 @@ func ExtTierTechnologies(s *Suite) (*Table, error) {
 		Header: []string{"tiers", "cost ratio", "function", "full-slow", "min cost", "optimal", "slowdown %", "slow %"},
 	}
 	fns := []string{"compress", "matmul", "pagerank"}
+	// One sub-suite per preset (so each preset's builds are cached under its
+	// own config), then the 3x3 (preset, function) pipeline runs fan out.
+	type cell struct {
+		preset mem.Preset
+		local  *Suite
+		m      costmodel.Model
+		fn     string
+	}
+	var cells []cell
 	for _, preset := range mem.Presets() {
 		cfg := s.Core
 		cfg.VM.Mem = preset.Config
@@ -179,19 +206,28 @@ func ExtTierTechnologies(s *Suite) (*Table, error) {
 			return nil, err
 		}
 		cfg.Cost = m
-		local := &Suite{Core: cfg, Iterations: s.Iterations, BaseSeed: s.BaseSeed, builds: map[string]*build{}}
+		local := &Suite{Core: cfg, Iterations: s.Iterations, BaseSeed: s.BaseSeed}
 		for _, fn := range fns {
-			spec := workload.ByNameMust(fn)
-			b, err := local.buildFor(spec, AllLevels)
-			if err != nil {
-				return nil, err
-			}
-			a := b.analysis
-			t.AddRow(preset.Name, preset.CostRatio, fn,
-				a.FullSlowSlowdown, a.MinCost(), m.Optimal(),
-				fmt.Sprintf("%.1f", (a.MinCostSlowdown()-1)*100),
-				fmt.Sprintf("%.1f%%", a.SlowShare()*100))
+			cells = append(cells, cell{preset: preset, local: local, m: m, fn: fn})
 		}
+	}
+	rows, err := par.Map(s.Pool(), cells, func(_ int, c cell) ([]any, error) {
+		spec := workload.ByNameMust(c.fn)
+		b, err := c.local.buildFor(spec, AllLevels)
+		if err != nil {
+			return nil, err
+		}
+		a := b.analysis
+		return []any{c.preset.Name, c.preset.CostRatio, c.fn,
+			a.FullSlowSlowdown, a.MinCost(), c.m.Optimal(),
+			fmt.Sprintf("%.1f", (a.MinCostSlowdown()-1)*100),
+			fmt.Sprintf("%.1f%%", a.SlowShare()*100)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("closer tiers (cxl) offload more at less slowdown but save less per byte; distant tiers (nvme) invert the trade")
 	return t, nil
@@ -210,42 +246,55 @@ func ExtBilling(s *Suite) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	var totalDram, totalToss float64
-	for _, spec := range workload.Registry() {
+	type specRes struct {
+		row        []any
+		dram, toss float64
+	}
+	res, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (specRes, error) {
 		b, err := s.buildFor(spec, AllLevels)
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		a := b.analysis
 		// Measured DRAM-only exec at input IV.
 		layout, err := spec.Layout()
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		tr, err := spec.Trace(workload.IV, s.BaseSeed+23)
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		vm := microvm.NewResident(s.Core.VM, layout, mem.AllFast(), 1)
 		vm.SetRecordTruth(false)
-		res, err := vm.Run(tr)
+		r, err := vm.Run(tr)
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
-		exec := res.Exec
+		exec := r.Exec
 		slowBytes := int64(float64(spec.MemBytes) * a.SlowShare())
 		slowdown := a.MinCostSlowdown()
 		dram := plan.Plan.PerMillion(spec.MemBytes, exec)
 		toss := plan.PerMillion(spec.MemBytes-slowBytes, slowBytes, exec.Scale(slowdown))
-		totalDram += dram
-		totalToss += toss
-		t.AddRow(spec.Name,
-			fmt.Sprintf("%.1f", exec.Milliseconds()),
-			fmt.Sprintf("%.1f", (slowdown-1)*100),
-			fmt.Sprintf("%.1f%%", a.SlowShare()*100),
-			fmt.Sprintf("$%.2f", dram),
-			fmt.Sprintf("$%.2f", toss),
-			fmt.Sprintf("%.0f%%", (1-toss/dram)*100))
+		return specRes{
+			row: []any{spec.Name,
+				fmt.Sprintf("%.1f", exec.Milliseconds()),
+				fmt.Sprintf("%.1f", (slowdown-1)*100),
+				fmt.Sprintf("%.1f%%", a.SlowShare()*100),
+				fmt.Sprintf("$%.2f", dram),
+				fmt.Sprintf("$%.2f", toss),
+				fmt.Sprintf("%.0f%%", (1-toss/dram)*100)},
+			dram: dram, toss: toss,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var totalDram, totalToss float64
+	for _, sr := range res {
+		totalDram += sr.dram
+		totalToss += sr.toss
+		t.AddRow(sr.row...)
 	}
 	t.AddNote("whole-suite bill: $%.2f -> $%.2f per 1M invocations (%.0f%% saved); worst case equals today's plan (§III-D)",
 		totalDram, totalToss, (1-totalToss/totalDram)*100)

@@ -6,6 +6,7 @@ import (
 
 	"toss/internal/mem"
 	"toss/internal/microvm"
+	"toss/internal/par"
 	"toss/internal/workload"
 )
 
@@ -30,35 +31,39 @@ func ExtMemoryIntensity(s *Suite) (*Table, error) {
 		slowShare float64
 		cost      float64
 	}
-	var rows []row
-	for _, spec := range workload.Registry() {
+	rows, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (row, error) {
 		b, err := s.buildFor(spec, AllLevels)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		layout, err := spec.Layout()
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		tr, err := spec.Trace(workload.IV, s.BaseSeed+41)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		vm := microvm.NewResident(s.Core.VM, layout, mem.AllFast(), 1)
 		vm.SetRecordTruth(false)
 		res, err := vm.Run(tr)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		rows = append(rows, row{
+		return row{
 			name:      spec.Name,
 			stall:     res.Meter.StallFraction() * 100,
 			execMS:    res.Exec.Milliseconds(),
 			footMB:    float64(tr.FootprintPages()) * 4096 / (1 << 20),
 			slowShare: b.analysis.SlowShare() * 100,
 			cost:      b.analysis.MinCost(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	// The ranking sort is stable across pool sizes: rows arrive in registry
+	// order and stall fractions are deterministic.
 	sort.Slice(rows, func(i, j int) bool { return rows[i].stall > rows[j].stall })
 	for _, r := range rows {
 		t.AddRow(r.name,

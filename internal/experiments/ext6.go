@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"toss/internal/par"
 	"toss/internal/reap"
 	"toss/internal/stats"
 	"toss/internal/workload"
@@ -19,39 +20,52 @@ func ExtFaaSnapInflation(s *Suite) (*Table, error) {
 		Header: []string{"function", "uffd WS (MB)", "mincore WS (MB)", "inflation",
 			"reap setup (ms)", "faasnap setup (ms)", "reap faults", "faasnap faults"},
 	}
-	var inflations []float64
-	for _, spec := range workload.Registry() {
+	type specRes struct {
+		row       []any
+		inflation float64
+	}
+	res, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (specRes, error) {
 		rm, err := reap.NewManager(s.Core.VM, spec)
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		fm, err := reap.NewFaaSnapManager(s.Core.VM, spec)
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		// Snapshot input II, execution input III: a realistic mismatch.
 		if _, err := rm.Invoke(workload.II, s.BaseSeed, 1); err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		if _, err := fm.Invoke(workload.II, s.BaseSeed, 1); err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		rRes, err := rm.Invoke(workload.III, s.BaseSeed+5, 1)
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		fRes, err := fm.Invoke(workload.III, s.BaseSeed+5, 1)
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		inflation := fm.InflationFactor(rm.WorkingSetPages())
-		inflations = append(inflations, inflation)
-		t.AddRow(spec.Name,
-			pageMB(rm.WorkingSetPages()), pageMB(fm.WorkingSetPages()),
-			fmt.Sprintf("%.2fx", inflation),
-			fmt.Sprintf("%.1f", rRes.Setup.Milliseconds()),
-			fmt.Sprintf("%.1f", fRes.Setup.Milliseconds()),
-			rRes.MajorFaults, fRes.MajorFaults)
+		return specRes{
+			row: []any{spec.Name,
+				pageMB(rm.WorkingSetPages()), pageMB(fm.WorkingSetPages()),
+				fmt.Sprintf("%.2fx", inflation),
+				fmt.Sprintf("%.1f", rRes.Setup.Milliseconds()),
+				fmt.Sprintf("%.1f", fRes.Setup.Milliseconds()),
+				rRes.MajorFaults, fRes.MajorFaults},
+			inflation: inflation,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var inflations []float64
+	for _, sr := range res {
+		inflations = append(inflations, sr.inflation)
+		t.AddRow(sr.row...)
 	}
 	t.AddNote("average mincore inflation: %.2fx — prefetched-but-untouched pages billed as working set (§III-C)", stats.Mean(inflations))
 	t.AddNote("inflation is per touched run (readahead overshoot), so these coarse-grained traces inflate mildly; scattered small-object heaps inflate far more")

@@ -5,6 +5,7 @@ import (
 
 	"toss/internal/fleet"
 	"toss/internal/guest"
+	"toss/internal/par"
 	"toss/internal/stats"
 	"toss/internal/workload"
 )
@@ -22,11 +23,14 @@ func ExtPackingDensity(s *Suite) (*Table, error) {
 	}
 	tieredHost := fleet.PaperHost()
 	dramHost := fleet.DRAMOnlyHost()
-	var gains []float64
-	for _, spec := range workload.Registry() {
+	type specRes struct {
+		row  []any
+		gain float64
+	}
+	res, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (specRes, error) {
 		b, err := s.buildFor(spec, AllLevels)
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		ts := b.tiered
 		fastBytes := int64(len(ts.FastMem.Pages)) * guest.PageSize
@@ -37,12 +41,22 @@ func ExtPackingDensity(s *Suite) (*Table, error) {
 		dramN := dramHost.MaxResident(dramVM)
 		tieredN := tieredHost.MaxResident(tieredVM)
 		gain := fleet.DensityGain(tieredHost, dramHost, tieredVM, dramVM)
-		gains = append(gains, gain)
-		t.AddRow(spec.Name,
-			fmt.Sprintf("%.0f", float64(resident)/(1<<20)),
-			fmt.Sprintf("%.0f", float64(fastBytes)/(1<<20)),
-			fmt.Sprintf("%.0f", float64(slowBytes)/(1<<20)),
-			dramN, tieredN, fmt.Sprintf("%.1fx", gain))
+		return specRes{
+			row: []any{spec.Name,
+				fmt.Sprintf("%.0f", float64(resident)/(1<<20)),
+				fmt.Sprintf("%.0f", float64(fastBytes)/(1<<20)),
+				fmt.Sprintf("%.0f", float64(slowBytes)/(1<<20)),
+				dramN, tieredN, fmt.Sprintf("%.1fx", gain)},
+			gain: gain,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var gains []float64
+	for _, sr := range res {
+		gains = append(gains, sr.gain)
+		t.AddRow(sr.row...)
 	}
 	mean, err := stats.GeoMean(gains)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"toss/internal/guest"
 	"toss/internal/mem"
 	"toss/internal/microvm"
+	"toss/internal/par"
 	"toss/internal/reap"
 	"toss/internal/stats"
 	"toss/internal/workload"
@@ -95,34 +96,48 @@ func pageMB(pages int64) string {
 
 // Fig2FullSlowTierSlowdown reproduces Fig. 2: the normalized slowdown of
 // running each function fully in the slow tier, per input, averaged over
-// iterations.
+// iterations. The 10x4 (function, input) matrix fans out per function on
+// the suite's pool; rows and aggregates are folded in registry order so the
+// table is byte-identical to a serial run.
 func Fig2FullSlowTierSlowdown(s *Suite) (*Table, error) {
 	t := &Table{
 		ID:     "fig2",
 		Title:  "Normalized slowdown fully offloaded to the slow tier (Fig. 2)",
 		Header: []string{"function", "input I", "input II", "input III", "input IV"},
 	}
-	var all []float64
-	for _, spec := range workload.Registry() {
+	type specRes struct {
+		row []any
+		sds []float64
+	}
+	res, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (specRes, error) {
 		layout, err := spec.Layout()
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		row := []any{spec.Name}
+		var sds []float64
 		for _, lv := range AllLevels {
 			fast, err := s.meanExecResident(spec, lv, s.BaseSeed, mem.AllFast(), 1)
 			if err != nil {
-				return nil, err
+				return specRes{}, err
 			}
 			slow, err := s.meanExecResident(spec, lv, s.BaseSeed, mem.AllSlow(layout.TotalPages), 1)
 			if err != nil {
-				return nil, err
+				return specRes{}, err
 			}
 			sd := slow / fast
-			all = append(all, sd)
+			sds = append(sds, sd)
 			row = append(row, sd)
 		}
-		t.AddRow(row...)
+		return specRes{row: row, sds: sds}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []float64
+	for _, r := range res {
+		all = append(all, r.sds...)
+		t.AddRow(r.row...)
 	}
 	t.AddNote("mean over all functions/inputs: %.2fx; max: %.2fx", stats.Mean(all), stats.Max(all))
 	t.AddNote("compute-bound functions run in the slow tier nearly for free (Obs. #1); others vary with input (Obs. #2)")
@@ -139,18 +154,24 @@ func Fig3ReapInputMismatch(s *Suite) (*Table, error) {
 		Title:  "REAP slowdown of mismatched snapshot inputs per execution input (Fig. 3)",
 		Header: []string{"function", "exec input", "mean norm", "max norm"},
 	}
-	var overall []float64
-	var overallMax float64
-	for _, spec := range workload.Registry() {
+	// The 4x4 snapshot-x-exec combos are independent per function: fan the
+	// functions out on the pool, fold rows in registry order.
+	type specRes struct {
+		rows  [][]any
+		norms []float64
+		max   float64
+	}
+	res, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (specRes, error) {
+		var sr specRes
 		// One REAP manager per snapshot input.
 		managers := make(map[workload.Level]*reap.Manager)
 		for _, snapLv := range AllLevels {
 			m, err := reap.NewManager(s.Core.VM, spec)
 			if err != nil {
-				return nil, err
+				return sr, err
 			}
 			if _, err := m.Invoke(snapLv, s.BaseSeed, 1); err != nil {
-				return nil, err
+				return sr, err
 			}
 			managers[snapLv] = m
 		}
@@ -158,22 +179,37 @@ func Fig3ReapInputMismatch(s *Suite) (*Table, error) {
 			// Matched baseline: snapshot input == execution input.
 			base, err := reapMeanInvocation(s, managers[execLv], execLv)
 			if err != nil {
-				return nil, err
+				return sr, err
 			}
 			var norms []float64
 			for _, snapLv := range AllLevels {
 				inv, err := reapMeanInvocation(s, managers[snapLv], execLv)
 				if err != nil {
-					return nil, err
+					return sr, err
 				}
 				norms = append(norms, inv/base)
 			}
 			mean, max := stats.Mean(norms), stats.Max(norms)
-			overall = append(overall, norms...)
-			if max > overallMax {
-				overallMax = max
+			sr.norms = append(sr.norms, norms...)
+			if max > sr.max {
+				sr.max = max
 			}
-			t.AddRow(spec.Name, execLv, mean, max)
+			sr.rows = append(sr.rows, []any{spec.Name, execLv, mean, max})
+		}
+		return sr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var overall []float64
+	var overallMax float64
+	for _, sr := range res {
+		overall = append(overall, sr.norms...)
+		if sr.max > overallMax {
+			overallMax = sr.max
+		}
+		for _, row := range sr.rows {
+			t.AddRow(row...)
 		}
 	}
 	t.AddNote("average slowdown over all cases: %.0f%%; worst case: %.2fx (paper: 26%% avg, up to 3.47x)",

@@ -6,6 +6,7 @@ import (
 
 	"toss/internal/guest"
 	"toss/internal/mem"
+	"toss/internal/par"
 	"toss/internal/stats"
 	"toss/internal/workload"
 )
@@ -20,21 +21,30 @@ func Fig5MinimumMemoryCost(s *Suite) (*Table, error) {
 		Title:  "Minimum normalized memory cost and slowdown, input IV, all-inputs snapshot (Fig. 5)",
 		Header: []string{"function", "norm cost", "slowdown %", "optimal", "dram"},
 	}
-	var costs, sdowns []float64
-	under10 := 0
-	for _, spec := range workload.Registry() {
+	// Fan the per-function pipeline builds out on the pool (the math after
+	// each build is trivial); fold rows in registry order.
+	type specRes struct {
+		cost, sd float64
+	}
+	res, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (specRes, error) {
 		b, err := s.buildFor(spec, AllLevels)
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
-		cost := b.analysis.MinCost()
-		sd := (b.analysis.MinCostSlowdown() - 1) * 100
-		costs = append(costs, cost)
-		sdowns = append(sdowns, sd)
-		if sd < 10 {
+		return specRes{cost: b.analysis.MinCost(), sd: (b.analysis.MinCostSlowdown() - 1) * 100}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var costs, sdowns []float64
+	under10 := 0
+	for i, r := range res {
+		costs = append(costs, r.cost)
+		sdowns = append(sdowns, r.sd)
+		if r.sd < 10 {
 			under10++
 		}
-		t.AddRow(spec.Name, cost, fmt.Sprintf("%.1f", sd), s.Core.Cost.Optimal(), 1.0)
+		t.AddRow(workload.Registry()[i].Name, r.cost, fmt.Sprintf("%.1f", r.sd), s.Core.Cost.Optimal(), 1.0)
 	}
 	t.AddNote("cost: avg %.2f, range [%.2f, %.2f] (paper: avg 0.48, range 0.4-0.87)",
 		stats.Mean(costs), stats.Min(costs), stats.Max(costs))
@@ -52,15 +62,18 @@ func Table2SlowTierShare(s *Suite) (*Table, error) {
 		Title:  "Memory offloaded to the slow tier at minimum cost (Table II)",
 		Header: []string{"function", "slow tier %"},
 	}
-	var shares []float64
-	for _, spec := range workload.Registry() {
+	shares, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (float64, error) {
 		b, err := s.buildFor(spec, AllLevels)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		share := b.analysis.SlowShare() * 100
-		shares = append(shares, share)
-		t.AddRow(spec.Name, fmt.Sprintf("%.1f%%", share))
+		return b.analysis.SlowShare() * 100, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, share := range shares {
+		t.AddRow(workload.Registry()[i].Name, fmt.Sprintf("%.1f%%", share))
 	}
 	t.AddNote("average offloaded: %.0f%% (paper: 92%%; pagerank lowest at 49.1%%)", stats.Mean(shares))
 	return t, nil
@@ -74,13 +87,15 @@ func fig6Functions(s *Suite) ([]*workload.Spec, error) {
 		spec *workload.Spec
 		sd   float64
 	}
-	var rs []ranked
-	for _, spec := range workload.Registry() {
+	rs, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (ranked, error) {
 		b, err := s.buildFor(spec, AllLevels)
 		if err != nil {
-			return nil, err
+			return ranked{}, err
 		}
-		rs = append(rs, ranked{spec, b.analysis.FullSlowSlowdown})
+		return ranked{spec, b.analysis.FullSlowSlowdown}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].sd > rs[j].sd })
 	out := make([]*workload.Spec, 0, 5)
@@ -104,36 +119,57 @@ func Fig6IncrementalBinOffload(s *Suite) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each (function, input) bin sweep is independent: fan the 20 cells out
+	// on the pool, fold the row blocks in (function, input) order.
+	type cell struct {
+		spec *workload.Spec
+		lv   workload.Level
+	}
+	var cells []cell
 	for _, spec := range specs {
+		for _, lv := range AllLevels {
+			cells = append(cells, cell{spec, lv})
+		}
+	}
+	blocks, err := par.Map(s.Pool(), cells, func(_ int, c cell) ([][]any, error) {
+		spec, lv := c.spec, c.lv
 		b, err := s.buildFor(spec, AllLevels)
 		if err != nil {
 			return nil, err
 		}
 		a := b.analysis
-		for _, lv := range AllLevels {
-			// Per-input baseline: only zero pages offloaded.
-			baseline, err := s.execResident(spec, lv, s.BaseSeed+5,
-				mem.NewPlacement(a.ZeroSlow), 1)
+		// Per-input baseline: only zero pages offloaded.
+		baseline, err := s.execResident(spec, lv, s.BaseSeed+5,
+			mem.NewPlacement(a.ZeroSlow), 1)
+		if err != nil {
+			return nil, err
+		}
+		var rows [][]any
+		cumulative := append([]guest.Region{}, a.ZeroSlow...)
+		slowPages := a.ZeroSlowPages
+		for k := 1; k <= len(a.Bins); k++ {
+			cumulative = append(cumulative, a.Bins[k-1].Regions...)
+			slowPages += a.Bins[k-1].Pages
+			exec, err := s.execResident(spec, lv, s.BaseSeed+5,
+				mem.NewPlacement(cumulative), 1)
 			if err != nil {
 				return nil, err
 			}
-			cumulative := append([]guest.Region{}, a.ZeroSlow...)
-			slowPages := a.ZeroSlowPages
-			for k := 1; k <= len(a.Bins); k++ {
-				cumulative = append(cumulative, a.Bins[k-1].Regions...)
-				slowPages += a.Bins[k-1].Pages
-				exec, err := s.execResident(spec, lv, s.BaseSeed+5,
-					mem.NewPlacement(cumulative), 1)
-				if err != nil {
-					return nil, err
-				}
-				sd := float64(exec) / float64(baseline)
-				if sd < 1 {
-					sd = 1
-				}
-				cost := s.Core.Cost.Normalized(sd, slowPages, a.GuestPages)
-				t.AddRow(spec.Name, lv, k, sd, cost)
+			sd := float64(exec) / float64(baseline)
+			if sd < 1 {
+				sd = 1
 			}
+			cost := s.Core.Cost.Normalized(sd, slowPages, a.GuestPages)
+			rows = append(rows, []any{spec.Name, lv, k, sd, cost})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range blocks {
+		for _, row := range rows {
+			t.AddRow(row...)
 		}
 	}
 	t.AddNote("larger inputs accumulate more slowdown, confirming the largest-input choice for bin profiling (§VI-C2)")

@@ -5,6 +5,7 @@ import (
 
 	"toss/internal/mem"
 	"toss/internal/microvm"
+	"toss/internal/par"
 	"toss/internal/reap"
 	"toss/internal/simtime"
 	"toss/internal/stats"
@@ -42,15 +43,21 @@ func Fig7SetupTime(s *Suite) (*Table, error) {
 		Title:  "Setup time normalized to DRAM snapshot setup (Fig. 7)",
 		Header: []string{"function", "dram (ms)", "toss", "reap min", "reap avg", "reap max"},
 	}
-	var worstRatio float64
-	for _, spec := range workload.Registry() {
+	// Per-function cells are independent; the recorder calls inside the
+	// mapped body stay ordered because an attached recorder forces the pool
+	// serial (see Suite.Pool) and are no-ops when it is nil.
+	type specRes struct {
+		row   []any
+		ratio float64
+	}
+	res, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (specRes, error) {
 		b, err := s.buildFor(spec, AllLevels)
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		layout, err := spec.Layout()
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		dram := float64(s.Core.VM.VMLoadBase + s.Core.VM.MmapCost)
 		tossSetup := float64(microvm.RestoreTiered(s.Core.VM, layout, b.tiered, 1).SetupTime())
@@ -64,26 +71,36 @@ func Fig7SetupTime(s *Suite) (*Table, error) {
 		for _, snapLv := range AllLevels {
 			m, err := reap.NewManager(s.Core.VM, spec)
 			if err != nil {
-				return nil, err
+				return specRes{}, err
 			}
 			if _, err := m.Invoke(snapLv, s.BaseSeed, 1); err != nil {
-				return nil, err
+				return specRes{}, err
 			}
 			res, err := m.Invoke(snapLv, s.BaseSeed+1, 1)
 			if err != nil {
-				return nil, err
+				return specRes{}, err
 			}
 			reapSetups = append(reapSetups, float64(res.Setup))
 		}
-		if r := stats.Max(reapSetups) / tossSetup; r > worstRatio {
-			worstRatio = r
+		return specRes{
+			row: []any{spec.Name,
+				fmt.Sprintf("%.2f", dram/1e6),
+				tossSetup / dram,
+				stats.Min(reapSetups) / dram,
+				stats.Mean(reapSetups) / dram,
+				stats.Max(reapSetups) / dram},
+			ratio: stats.Max(reapSetups) / tossSetup,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var worstRatio float64
+	for _, sr := range res {
+		if sr.ratio > worstRatio {
+			worstRatio = sr.ratio
 		}
-		t.AddRow(spec.Name,
-			fmt.Sprintf("%.2f", dram/1e6),
-			tossSetup/dram,
-			stats.Min(reapSetups)/dram,
-			stats.Mean(reapSetups)/dram,
-			stats.Max(reapSetups)/dram)
+		t.AddRow(sr.row...)
 	}
 	t.AddNote("TOSS setup is constant per function (one mmap per layout region)")
 	t.AddNote("REAP setup grows with the recorded WS; worst REAP/TOSS ratio: %.0fx (paper: up to 52x)", worstRatio)
@@ -99,15 +116,21 @@ func Fig8InvocationTime(s *Suite) (*Table, error) {
 		Title:  "Total invocation time normalized to DRAM invocation (Fig. 8)",
 		Header: []string{"function", "toss mean", "toss max", "reap mean", "reap max"},
 	}
-	var tossAll, reapAll []float64
-	for _, spec := range workload.Registry() {
+	// The DRAM baselines, TOSS runs, and 4x4 REAP combo matrix are all
+	// per-function: fan functions out, fold in registry order.
+	type specRes struct {
+		row       []any
+		tossNorms []float64
+		reapNorms []float64
+	}
+	res, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (specRes, error) {
 		b, err := s.buildFor(spec, AllLevels)
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		layout, err := spec.Layout()
 		if err != nil {
-			return nil, err
+			return specRes{}, err
 		}
 		// DRAM baseline per exec input (matched snapshot).
 		dram := map[workload.Level]float64{}
@@ -116,7 +139,7 @@ func Fig8InvocationTime(s *Suite) (*Table, error) {
 			for it := 0; it < s.Iterations; it++ {
 				setup, exec, err := s.dramInvocation(spec, lv, s.BaseSeed+int64(it)*31+3, 1)
 				if err != nil {
-					return nil, err
+					return specRes{}, err
 				}
 				sum += float64(setup + exec)
 			}
@@ -130,15 +153,15 @@ func Fig8InvocationTime(s *Suite) (*Table, error) {
 			for it := 0; it < s.Iterations; it++ {
 				tr, err := spec.Trace(lv, s.BaseSeed+int64(it)*31+3)
 				if err != nil {
-					return nil, err
+					return specRes{}, err
 				}
 				vm := microvm.RestoreTiered(s.Core.VM, layout, b.tiered, 1)
 				vm.SetRecordTruth(false)
-				res, err := vm.Run(tr)
+				r, err := vm.Run(tr)
 				if err != nil {
-					return nil, err
+					return specRes{}, err
 				}
-				sum += float64(res.Total())
+				sum += float64(r.Total())
 			}
 			tossNorms = append(tossNorms, sum/float64(s.Iterations)/dram[lv])
 		}
@@ -148,23 +171,34 @@ func Fig8InvocationTime(s *Suite) (*Table, error) {
 		for _, snapLv := range AllLevels {
 			m, err := reap.NewManager(s.Core.VM, spec)
 			if err != nil {
-				return nil, err
+				return specRes{}, err
 			}
 			if _, err := m.Invoke(snapLv, s.BaseSeed, 1); err != nil {
-				return nil, err
+				return specRes{}, err
 			}
 			for _, execLv := range AllLevels {
 				inv, err := reapMeanInvocation(s, m, execLv)
 				if err != nil {
-					return nil, err
+					return specRes{}, err
 				}
 				reapNorms = append(reapNorms, inv/dram[execLv])
 			}
 		}
-		tossAll = append(tossAll, tossNorms...)
-		reapAll = append(reapAll, reapNorms...)
-		t.AddRow(spec.Name, stats.Mean(tossNorms), stats.Max(tossNorms),
-			stats.Mean(reapNorms), stats.Max(reapNorms))
+		return specRes{
+			row: []any{spec.Name, stats.Mean(tossNorms), stats.Max(tossNorms),
+				stats.Mean(reapNorms), stats.Max(reapNorms)},
+			tossNorms: tossNorms,
+			reapNorms: reapNorms,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tossAll, reapAll []float64
+	for _, sr := range res {
+		tossAll = append(tossAll, sr.tossNorms...)
+		reapAll = append(reapAll, sr.reapNorms...)
+		t.AddRow(sr.row...)
 	}
 	t.AddNote("TOSS: %.2fx avg, %.2fx max (paper: 1.78x avg, up to 3.8x)",
 		stats.Mean(tossAll), stats.Max(tossAll))
@@ -186,38 +220,44 @@ func Fig9Scalability(s *Suite) (*Table, error) {
 		Title:  "Execution slowdown under concurrency, input IV, normalized to DRAM (Fig. 9)",
 		Header: []string{"function", "conc", "toss", "reap best", "reap worst"},
 	}
-	var toss20, worst20 []float64
-	var worstMax float64
-	for _, spec := range workload.Registry() {
+	// The concurrency ladder is independent per function: fan functions out,
+	// fold the 4-row blocks in registry order. Recorder calls stay ordered
+	// because an attached recorder forces the pool serial (see Suite.Pool).
+	type specRes struct {
+		rows            [][]any
+		toss20, worst20 float64
+	}
+	res, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (specRes, error) {
+		var sr specRes
 		b, err := s.buildFor(spec, AllLevels)
 		if err != nil {
-			return nil, err
+			return sr, err
 		}
 		layout, err := spec.Layout()
 		if err != nil {
-			return nil, err
+			return sr, err
 		}
 		// Working sets for REAP Best (input IV) and Worst (input I).
 		mBest, err := reap.NewManager(s.Core.VM, spec)
 		if err != nil {
-			return nil, err
+			return sr, err
 		}
 		if _, err := mBest.Invoke(workload.IV, s.BaseSeed, 1); err != nil {
-			return nil, err
+			return sr, err
 		}
 		mWorst, err := reap.NewManager(s.Core.VM, spec)
 		if err != nil {
-			return nil, err
+			return sr, err
 		}
 		if _, err := mWorst.Invoke(workload.I, s.BaseSeed, 1); err != nil {
-			return nil, err
+			return sr, err
 		}
 
 		for _, conc := range fig9Concurrency {
 			seed := s.BaseSeed + int64(conc)*101
 			tr, err := spec.Trace(workload.IV, seed)
 			if err != nil {
-				return nil, err
+				return sr, err
 			}
 			runExec := func(vm *microvm.Machine) (float64, error) {
 				vm.SetRecordTruth(false)
@@ -229,33 +269,45 @@ func Fig9Scalability(s *Suite) (*Table, error) {
 			}
 			_, dramExecD, err := s.dramInvocation(spec, workload.IV, seed, conc)
 			if err != nil {
-				return nil, err
+				return sr, err
 			}
 			dramExec := float64(dramExecD)
 			tossExec, err := runExec(microvm.RestoreTiered(s.Core.VM, layout, b.tiered, conc))
 			if err != nil {
-				return nil, err
+				return sr, err
 			}
 			s.Obs.ObservePlacement(spec.Name, b.analysis.Placement.SlowRegions(),
 				layout.TotalPages, fmt.Sprintf("fig9/conc=%d", conc))
 			s.Obs.Advance(simtime.Duration(tossExec))
 			bestExec, err := runExec(microvm.RestoreREAP(s.Core.VM, mBest.Layout(), mBest.Snapshot(), mBest.WorkingSet(), conc))
 			if err != nil {
-				return nil, err
+				return sr, err
 			}
 			worstExec, err := runExec(microvm.RestoreREAP(s.Core.VM, mWorst.Layout(), mWorst.Snapshot(), mWorst.WorkingSet(), conc))
 			if err != nil {
-				return nil, err
+				return sr, err
 			}
 			tossN, bestN, worstN := tossExec/dramExec, bestExec/dramExec, worstExec/dramExec
 			if conc == 20 {
-				toss20 = append(toss20, tossN)
-				worst20 = append(worst20, worstN)
-				if worstN > worstMax {
-					worstMax = worstN
-				}
+				sr.toss20, sr.worst20 = tossN, worstN
 			}
-			t.AddRow(spec.Name, conc, tossN, bestN, worstN)
+			sr.rows = append(sr.rows, []any{spec.Name, conc, tossN, bestN, worstN})
+		}
+		return sr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var toss20, worst20 []float64
+	var worstMax float64
+	for _, sr := range res {
+		toss20 = append(toss20, sr.toss20)
+		worst20 = append(worst20, sr.worst20)
+		if sr.worst20 > worstMax {
+			worstMax = sr.worst20
+		}
+		for _, row := range sr.rows {
+			t.AddRow(row...)
 		}
 	}
 	t.AddNote("at 20 concurrent: TOSS %.2fx avg (paper: 1.95x, up to 4.2x); REAP Worst %.2fx avg, %.2fx max (paper: 3.79x avg, up to 19x)",

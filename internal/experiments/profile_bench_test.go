@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"toss/internal/workload"
 )
@@ -19,3 +21,29 @@ func BenchmarkBuildPagerank(b *testing.B) {
 		}
 	}
 }
+
+// suiteSubset is a representative slice of the suite for the regression
+// harness: the heaviest sweep (fig8's matrices), a pipeline consumer
+// (fig5), and a scheduler simulation (ext1).
+var suiteSubset = []string{"fig5", "fig8", "ext1"}
+
+func benchSuiteSubset(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSuite()
+		s.Workers = workers
+		start := time.Now()
+		if _, err := s.RunMany(suiteSubset); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(time.Since(start).Seconds(), "wall-s/op")
+	}
+	b.ReportMetric(float64(len(suiteSubset)), "tables/op")
+}
+
+// BenchmarkSuiteSubsetSerial and BenchmarkSuiteSubsetParallel are the
+// regression harness's end-to-end probes (scripts/bench.sh): each run pays
+// the full build pipeline (fresh suite per iteration), serially vs over a
+// GOMAXPROCS-wide pool.
+func BenchmarkSuiteSubsetSerial(b *testing.B)   { benchSuiteSubset(b, 1) }
+func BenchmarkSuiteSubsetParallel(b *testing.B) { benchSuiteSubset(b, runtime.GOMAXPROCS(0)) }

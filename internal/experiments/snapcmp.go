@@ -5,6 +5,7 @@ import (
 
 	"toss/internal/guest"
 	"toss/internal/mem"
+	"toss/internal/par"
 	"toss/internal/stats"
 	"toss/internal/workload"
 )
@@ -37,33 +38,51 @@ func SnapshotCostVariance(s *Suite) (*Table, error) {
 		Title:  "Memory cost variance: input-IV snapshot vs all-inputs snapshot (§VI-C3)",
 		Header: []string{"function", "input", "cost (all)", "cost (IV)", "variance %"},
 	}
-	var variances, variancesFiltered []float64
-	for _, spec := range workload.Registry() {
+	// Each function contributes an independent 4-row block (two builds plus
+	// eight placement evaluations): fan out, fold in registry order.
+	type specRes struct {
+		rows                [][]any
+		variances, filtered []float64
+	}
+	res, err := par.Map(s.Pool(), workload.Registry(), func(_ int, spec *workload.Spec) (specRes, error) {
+		var sr specRes
 		all, err := s.buildFor(spec, AllLevels)
 		if err != nil {
-			return nil, err
+			return sr, err
 		}
 		ivOnly, err := s.buildFor(spec, LevelIVOnly)
 		if err != nil {
-			return nil, err
+			return sr, err
 		}
 		for _, lv := range AllLevels {
 			cAll, _, err := s.inputCost(spec, lv, all.analysis.Placement, all.analysis.GuestPages)
 			if err != nil {
-				return nil, err
+				return sr, err
 			}
 			cIV, _, err := s.inputCost(spec, lv, ivOnly.analysis.Placement, ivOnly.analysis.GuestPages)
 			if err != nil {
-				return nil, err
+				return sr, err
 			}
 			v := math.Abs(cAll-cIV) / ((cAll + cIV) / 2) * 100
-			variances = append(variances, v)
+			sr.variances = append(sr.variances, v)
 			// The paper excludes very short invocations and pagerank from
 			// its filtered average.
 			if spec.Name != "pagerank" && !shortRunning(spec, lv) {
-				variancesFiltered = append(variancesFiltered, v)
+				sr.filtered = append(sr.filtered, v)
 			}
-			t.AddRow(spec.Name, lv, cAll, cIV, v)
+			sr.rows = append(sr.rows, []any{spec.Name, lv, cAll, cIV, v})
+		}
+		return sr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var variances, variancesFiltered []float64
+	for _, sr := range res {
+		variances = append(variances, sr.variances...)
+		variancesFiltered = append(variancesFiltered, sr.filtered...)
+		for _, row := range sr.rows {
+			t.AddRow(row...)
 		}
 	}
 	t.AddNote("average cost variance: %.1f%% (paper: 7.2%%)", stats.Mean(variances))
@@ -86,56 +105,83 @@ func PlacementGeneralization(s *Suite) (*Table, error) {
 		Title:  "Input-IV placement vs per-input optimal placement (§VI-C3)",
 		Header: []string{"function", "input", "cost (IV placement)", "cost (per-input opt)", "diff %"},
 	}
-	var diffs, diffsFiltered []float64
+	// The per-input bin sweep is the suite's costliest inner loop (every bin
+	// of every function re-measured on every input): fan the (function,
+	// input) cells out on the pool, fold in (function, input) order.
+	type cell struct {
+		spec *workload.Spec
+		lv   workload.Level
+	}
+	var cells []cell
 	for _, spec := range workload.Registry() {
+		for _, lv := range AllLevels {
+			cells = append(cells, cell{spec, lv})
+		}
+	}
+	type cellRes struct {
+		row      []any
+		d        float64
+		filtered bool
+	}
+	res, err := par.Map(s.Pool(), cells, func(_ int, c cell) (cellRes, error) {
+		spec, lv := c.spec, c.lv
 		b, err := s.buildFor(spec, AllLevels)
 		if err != nil {
-			return nil, err
+			return cellRes{}, err
 		}
 		a := b.analysis
-		for _, lv := range AllLevels {
-			cIV, _, err := s.inputCost(spec, lv, a.Placement, a.GuestPages)
-			if err != nil {
-				return nil, err
-			}
-			// Per-input optimum: sweep the same bins in the same order,
-			// but score each configuration on this input.
-			fast, err := s.meanExecResident(spec, lv, s.BaseSeed+17, mem.AllFast(), 1)
-			if err != nil {
-				return nil, err
-			}
-			best := math.Inf(1)
-			cumulative := append([]guest.Region{}, a.ZeroSlow...)
-			slowPages := a.ZeroSlowPages
-			for k := 0; ; k++ {
-				placement := mem.NewPlacement(cumulative)
-				exec, err := s.meanExecResident(spec, lv, s.BaseSeed+17, placement, 1)
-				if err != nil {
-					return nil, err
-				}
-				sd := exec / fast
-				if sd < 1 {
-					sd = 1
-				}
-				if c := s.Core.Cost.Normalized(sd, slowPages, a.GuestPages); c < best {
-					best = c
-				}
-				if k == len(a.Bins) {
-					break
-				}
-				cumulative = append(cumulative, a.Bins[k].Regions...)
-				slowPages += a.Bins[k].Pages
-			}
-			d := (cIV - best) / best * 100
-			if d < 0 {
-				d = 0
-			}
-			diffs = append(diffs, d)
-			if !shortRunning(spec, lv) {
-				diffsFiltered = append(diffsFiltered, d)
-			}
-			t.AddRow(spec.Name, lv, cIV, best, d)
+		cIV, _, err := s.inputCost(spec, lv, a.Placement, a.GuestPages)
+		if err != nil {
+			return cellRes{}, err
 		}
+		// Per-input optimum: sweep the same bins in the same order,
+		// but score each configuration on this input.
+		fast, err := s.meanExecResident(spec, lv, s.BaseSeed+17, mem.AllFast(), 1)
+		if err != nil {
+			return cellRes{}, err
+		}
+		best := math.Inf(1)
+		cumulative := append([]guest.Region{}, a.ZeroSlow...)
+		slowPages := a.ZeroSlowPages
+		for k := 0; ; k++ {
+			placement := mem.NewPlacement(cumulative)
+			exec, err := s.meanExecResident(spec, lv, s.BaseSeed+17, placement, 1)
+			if err != nil {
+				return cellRes{}, err
+			}
+			sd := exec / fast
+			if sd < 1 {
+				sd = 1
+			}
+			if c := s.Core.Cost.Normalized(sd, slowPages, a.GuestPages); c < best {
+				best = c
+			}
+			if k == len(a.Bins) {
+				break
+			}
+			cumulative = append(cumulative, a.Bins[k].Regions...)
+			slowPages += a.Bins[k].Pages
+		}
+		d := (cIV - best) / best * 100
+		if d < 0 {
+			d = 0
+		}
+		return cellRes{
+			row:      []any{spec.Name, lv, cIV, best, d},
+			d:        d,
+			filtered: !shortRunning(spec, lv),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var diffs, diffsFiltered []float64
+	for _, cr := range res {
+		diffs = append(diffs, cr.d)
+		if cr.filtered {
+			diffsFiltered = append(diffsFiltered, cr.d)
+		}
+		t.AddRow(cr.row...)
 	}
 	t.AddNote("average difference: %.1f%% (paper: 6.1%%)", stats.Mean(diffs))
 	t.AddNote("excluding short-running invocations: %.1f%% (paper: 3.3%%)", stats.Mean(diffsFiltered))

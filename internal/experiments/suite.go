@@ -10,13 +10,18 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"toss/internal/core"
 	"toss/internal/mem"
 	"toss/internal/microvm"
 	"toss/internal/obs"
+	"toss/internal/par"
 	"toss/internal/simtime"
 	"toss/internal/snapshot"
 	"toss/internal/workload"
@@ -36,8 +41,15 @@ type Suite struct {
 	// observability-wired experiments (Fig. 7/9) on its residency timelines.
 	// Attach with SetRecorder so machine-level observations flow too.
 	Obs *obs.Recorder
+	// Workers bounds the experiment engine's parallelism (see Pool). Zero
+	// or one runs everything serially. Set before the first Run.
+	Workers int
 
-	builds map[string]*build
+	poolOnce sync.Once
+	pool     *par.Pool
+
+	buildMu sync.Mutex
+	builds  map[buildKey]*buildEntry
 }
 
 // build is a cached TOSS pipeline outcome.
@@ -45,6 +57,45 @@ type build struct {
 	pd       *core.ProfileData
 	analysis *core.Analysis
 	tiered   *snapshot.Tiered
+}
+
+// buildKey canonically identifies one TOSS pipeline build: the function
+// plus the exact profiling input sequence. Levels are order-significant
+// (profiling round-robins through them), so the key encodes them
+// positionally — one byte per level — rather than via a formatted string
+// that distinct slices could collide on.
+type buildKey struct {
+	function string
+	levels   string
+}
+
+func keyFor(spec *workload.Spec, levels []workload.Level) buildKey {
+	enc := make([]byte, len(levels))
+	for i, lv := range levels {
+		enc[i] = byte(lv)
+	}
+	return buildKey{function: spec.Name, levels: string(enc)}
+}
+
+// buildEntry is one singleflight slot in the build cache: the first
+// goroutine to claim the key runs the pipeline inside the Once; concurrent
+// experiments needing the same build block on it and share the result.
+type buildEntry struct {
+	once sync.Once
+	b    *build
+	err  error
+}
+
+// Pool returns the worker pool experiments fan cells out on. It is serial
+// when Workers <= 1 and whenever a recorder, observer, or metrics sink is
+// attached — those consumers record events in arrival order, mirroring
+// faasim's tracing-forces-workers=1 rule.
+func (s *Suite) Pool() *par.Pool {
+	if s.Workers <= 1 || s.Obs != nil || s.Core.VM.Observer != nil || s.Core.VM.Metrics != nil {
+		return par.Serial
+	}
+	s.poolOnce.Do(func() { s.pool = par.New(s.Workers) })
+	return s.pool
 }
 
 // NewSuite returns the default suite configuration. The convergence window
@@ -60,7 +111,6 @@ func NewSuite() *Suite {
 		Core:       cfg,
 		Iterations: 5,
 		BaseSeed:   1,
-		builds:     make(map[string]*build),
 	}
 }
 
@@ -88,12 +138,27 @@ var (
 const maxProfilingInvocations = 400
 
 // buildFor runs the TOSS pipeline (Steps I-IV) for a function over an input
-// mix and caches the result.
+// mix and caches the result. Concurrent callers asking for the same
+// (function, input-mix) build block on a single pipeline run (singleflight)
+// and share its outcome.
 func (s *Suite) buildFor(spec *workload.Spec, levels []workload.Level) (*build, error) {
-	key := spec.Name + "/" + fmt.Sprint(levels)
-	if b, ok := s.builds[key]; ok {
-		return b, nil
+	key := keyFor(spec, levels)
+	s.buildMu.Lock()
+	if s.builds == nil {
+		s.builds = make(map[buildKey]*buildEntry)
 	}
+	e, ok := s.builds[key]
+	if !ok {
+		e = &buildEntry{}
+		s.builds[key] = e
+	}
+	s.buildMu.Unlock()
+	e.once.Do(func() { e.b, e.err = s.runPipeline(spec, levels) })
+	return e.b, e.err
+}
+
+// runPipeline executes Steps I-IV uncached.
+func (s *Suite) runPipeline(spec *workload.Spec, levels []workload.Level) (*build, error) {
 	pd, _, err := core.NewProfileData(s.Core, spec, levels[0], s.BaseSeed)
 	if err != nil {
 		return nil, err
@@ -118,9 +183,7 @@ func (s *Suite) buildFor(spec *workload.Spec, levels []workload.Level) (*build, 
 	if err != nil {
 		return nil, err
 	}
-	b := &build{pd: pd, analysis: analysis, tiered: core.BuildSnapshot(pd, analysis)}
-	s.builds[key] = b
-	return b, nil
+	return &build{pd: pd, analysis: analysis, tiered: core.BuildSnapshot(pd, analysis)}, nil
 }
 
 // execResident measures execution time of (spec, lv, seed) fully resident
@@ -206,15 +269,63 @@ func (s *Suite) Run(id string) (*Table, error) {
 	return r(s)
 }
 
-// RunAll executes every experiment in canonical order.
-func (s *Suite) RunAll() ([]*Table, error) {
-	var out []*Table
-	for _, id := range registryOrder {
+// Timed pairs one experiment's table with the wall-clock time it took.
+type Timed struct {
+	ID      string
+	Table   *Table
+	Elapsed time.Duration
+}
+
+// RunTimed executes the given experiments through the suite's pool —
+// concurrently when the pool is parallel, in order when serial — and
+// returns (table, wall-clock) pairs in input order. Experiments are
+// independent and every cell is deterministic, so the rendered tables are
+// byte-identical regardless of the pool.
+//
+// On failure the returned error names the failing experiment and lists the
+// experiments that did complete; the result slice still carries the
+// completed prefix.
+func (s *Suite) RunTimed(ids []string) ([]Timed, error) {
+	res, err := par.Map(s.Pool(), ids, func(_ int, id string) (Timed, error) {
+		start := time.Now()
 		t, err := s.Run(id)
 		if err != nil {
-			return out, fmt.Errorf("%s: %w", id, err)
+			return Timed{ID: id}, err
 		}
-		out = append(out, t)
+		return Timed{ID: id, Table: t, Elapsed: time.Since(start)}, nil
+	})
+	if err == nil {
+		return res, nil
 	}
-	return out, nil
+	var pe *par.Error
+	if !errors.As(err, &pe) {
+		return nil, err
+	}
+	var done []string
+	for i, r := range res {
+		if i != pe.Index && r.Table != nil {
+			done = append(done, ids[i])
+		}
+	}
+	err = fmt.Errorf("%s: %w", ids[pe.Index], pe.Err)
+	if len(done) > 0 {
+		err = fmt.Errorf("%s: %w (completed: %s)", ids[pe.Index], pe.Err, strings.Join(done, ", "))
+	}
+	return res[:pe.Index], err
+}
+
+// RunMany executes the given experiments through the suite's pool and
+// returns their tables in input order. See RunTimed for error semantics.
+func (s *Suite) RunMany(ids []string) ([]*Table, error) {
+	timed, err := s.RunTimed(ids)
+	out := make([]*Table, 0, len(timed))
+	for _, r := range timed {
+		out = append(out, r.Table)
+	}
+	return out, err
+}
+
+// RunAll executes every experiment in canonical order.
+func (s *Suite) RunAll() ([]*Table, error) {
+	return s.RunMany(IDs())
 }

@@ -183,11 +183,13 @@ func (c *Cache) remove(fn string) {
 }
 
 // minPriority returns the function with the lowest priority ("" if empty).
+// Priority ties break by function name so eviction order never depends on
+// map iteration order — the whole simulation must be bit-reproducible.
 func (c *Cache) minPriority() string {
 	best := ""
 	var bestP float64
 	for fn, it := range c.items {
-		if best == "" || it.priority < bestP {
+		if best == "" || it.priority < bestP || (it.priority == bestP && fn < best) {
 			best, bestP = fn, it.priority
 		}
 	}

@@ -268,7 +268,15 @@ type Segment struct {
 // tier, in address order. The microVM uses this to charge one event across a
 // tier boundary without per-page lookups.
 func (pl *Placement) Segments(r guest.Region) []Segment {
-	var out []Segment
+	return pl.AppendSegments(nil, r)
+}
+
+// AppendSegments is Segments with a caller-supplied destination: the
+// uniform-tier sub-runs of r are appended to dst and the extended slice is
+// returned. Replay loops pass a reused scratch slice (dst[:0]) so the
+// per-event split allocates nothing in steady state.
+func (pl *Placement) AppendSegments(dst []Segment, r guest.Region) []Segment {
+	out := dst
 	cur := r
 	for !cur.Empty() {
 		t := pl.TierOf(cur.Start)

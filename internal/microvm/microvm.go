@@ -165,6 +165,9 @@ type Machine struct {
 	// label identifies the machine to observers, normally the function
 	// name. Restores inherit it from the snapshot's Function field.
 	label string
+	// segbuf is the reusable scratch slice for per-event tier splits; a
+	// machine serves one invocation on one goroutine, so reuse is safe.
+	segbuf []mem.Segment
 }
 
 // setupPart is one component of the setup-time breakdown, in order.
@@ -371,6 +374,12 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 		Truth: access.NewHistogram(),
 		Trace: tr,
 	}
+	if m.recordTruth {
+		// The ground truth of a replay is a pure function of the trace;
+		// share the trace's memoized histogram instead of re-folding the
+		// events. Consumers treat Truth as read-only.
+		res.Truth = tr.Counts()
+	}
 	met := m.cfg.Metrics
 	var faultHist *telemetry.Histogram
 	if met != nil {
@@ -403,7 +412,8 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 		if e.Region.End() > guest.PageID(m.layout.TotalPages) {
 			return Result{}, fmt.Errorf("microvm: event %v exceeds guest of %d pages", e.Region, m.layout.TotalPages)
 		}
-		for _, seg := range m.placement.Segments(e.Region) {
+		m.segbuf = m.placement.AppendSegments(m.segbuf[:0], e.Region)
+		for _, seg := range m.segbuf {
 			// Demand paging for first touches of this segment.
 			newStored, newZero := m.touch(seg.Region)
 			if newStored+newZero > 0 {
@@ -428,9 +438,6 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 			}
 			// Memory service.
 			clock.Advance(res.Meter.ChargePages(m.cfg.Mem, e, seg.Tier, m.concurrency, seg.Region.Pages))
-		}
-		if m.recordTruth {
-			res.Truth.AddEvent(e)
 		}
 	}
 	res.Exec = clock.Now()

@@ -18,6 +18,7 @@ import (
 	"toss/internal/damon"
 	"toss/internal/microvm"
 	"toss/internal/obs"
+	"toss/internal/par"
 	"toss/internal/reap"
 	"toss/internal/simtime"
 	"toss/internal/snapshot"
@@ -370,33 +371,12 @@ type Request struct {
 	Seed     int64
 }
 
-// Replay drives a request trace through a pool of `workers` goroutines and
-// returns one record per request, in completion order.
+// Replay drives a request trace through a bounded worker pool and returns
+// one record per request, in request order (not completion order), so
+// per-request output is reproducible regardless of the worker count.
 func (p *Platform) Replay(reqs []Request, workers int) []Record {
-	if workers < 1 {
-		workers = 1
-	}
-	in := make(chan Request)
-	out := make(chan Record, len(reqs))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for req := range in {
-				out <- p.Invoke(req.Function, req.Level, req.Seed)
-			}
-		}()
-	}
-	for _, req := range reqs {
-		in <- req
-	}
-	close(in)
-	wg.Wait()
-	close(out)
-	records := make([]Record, 0, len(reqs))
-	for r := range out {
-		records = append(records, r)
-	}
+	records, _ := par.Map(par.New(workers), reqs, func(_ int, req Request) (Record, error) {
+		return p.Invoke(req.Function, req.Level, req.Seed), nil
+	})
 	return records
 }

@@ -1,0 +1,47 @@
+package snapshot
+
+import (
+	"testing"
+
+	"toss/internal/guest"
+)
+
+func TestResidentRegionsMemoized(t *testing.T) {
+	m := NewMemory("f", 100, []guest.Region{{Start: 3, Pages: 4}, {Start: 10, Pages: 2}})
+	r1 := m.ResidentRegions()
+	r2 := m.ResidentRegions()
+	if len(r1) != 2 || r1[0] != (guest.Region{Start: 3, Pages: 4}) || r1[1] != (guest.Region{Start: 10, Pages: 2}) {
+		t.Fatalf("regions = %v", r1)
+	}
+	if &r1[0] != &r2[0] {
+		t.Error("ResidentRegions not memoized: recomputed for unchanged memory")
+	}
+
+	// Growing the page map invalidates the cache.
+	m.Pages[50] = DigestFor("f", 50)
+	r3 := m.ResidentRegions()
+	if len(r3) != 3 || r3[2] != (guest.Region{Start: 50, Pages: 1}) {
+		t.Fatalf("regions after growth = %v", r3)
+	}
+}
+
+func TestResidentRegionsMergesAdjacent(t *testing.T) {
+	// Pages added out of order and adjacently must still yield one merged,
+	// sorted region — identical to guest.NormalizeRegions semantics.
+	m := &Memory{GuestPages: 64, Pages: map[guest.PageID]PageDigest{}}
+	for _, p := range []guest.PageID{7, 5, 6, 20, 8} {
+		m.Pages[p] = DigestFor("f", p)
+	}
+	got := m.ResidentRegions()
+	want := []guest.Region{{Start: 5, Pages: 4}, {Start: 20, Pages: 1}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("regions = %v, want %v", got, want)
+	}
+}
+
+func TestResidentRegionsEmpty(t *testing.T) {
+	m := &Memory{GuestPages: 8, Pages: map[guest.PageID]PageDigest{}}
+	if got := m.ResidentRegions(); got != nil {
+		t.Fatalf("empty memory regions = %v, want nil", got)
+	}
+}

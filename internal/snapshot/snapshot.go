@@ -26,6 +26,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
+	"sync"
 
 	"toss/internal/guest"
 	"toss/internal/mem"
@@ -64,6 +66,13 @@ type Memory struct {
 	GuestPages int64
 	// Pages maps each resident page to its content digest.
 	Pages map[guest.PageID]PageDigest
+
+	// ResidentRegions cache. Pages only ever grows (capture, decode, and
+	// tier partitioning all append), so a stale cache is detectable from
+	// the map length alone.
+	regionMu    sync.Mutex
+	regions     []guest.Region
+	regionPages int
 }
 
 // NewMemory captures an image for `function` covering the given resident
@@ -79,12 +88,32 @@ func NewMemory(function string, guestPages int64, resident []guest.Region) *Memo
 }
 
 // ResidentRegions returns the stored pages as normalized regions.
+//
+// The result is memoized and shared between callers — treat it as
+// read-only. Every lazy restore walks these regions, so recomputing the
+// sort per restore used to dominate the restore-heavy sweeps.
 func (m *Memory) ResidentRegions() []guest.Region {
-	regions := make([]guest.Region, 0, len(m.Pages))
-	for p := range m.Pages {
-		regions = append(regions, guest.Region{Start: p, Pages: 1})
+	m.regionMu.Lock()
+	defer m.regionMu.Unlock()
+	if m.regions != nil && m.regionPages == len(m.Pages) {
+		return m.regions
 	}
-	return guest.NormalizeRegions(regions)
+	ids := make([]int64, 0, len(m.Pages))
+	for p := range m.Pages {
+		ids = append(ids, int64(p))
+	}
+	slices.Sort(ids)
+	var regions []guest.Region
+	for _, id := range ids {
+		if n := len(regions); n > 0 && regions[n-1].End() == guest.PageID(id) {
+			regions[n-1].Pages++
+		} else {
+			regions = append(regions, guest.Region{Start: guest.PageID(id), Pages: 1})
+		}
+	}
+	m.regions = regions
+	m.regionPages = len(m.Pages)
+	return regions
 }
 
 // ResidentBytes returns the represented (uncompressed) resident size.

@@ -22,8 +22,10 @@
 package workload
 
 import (
+	"container/list"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"toss/internal/access"
 	"toss/internal/guest"
@@ -82,19 +84,39 @@ type Spec struct {
 	runtime runtimeProfile
 	// body emits the function body's events.
 	body func(b *builder, lv Level)
+
+	// Layout memo: specs are registry singletons and the layout is a pure
+	// function of MemBytes, so it is computed at most once.
+	layoutOnce sync.Once
+	layout     guest.Layout
+	layoutErr  error
 }
 
-// Layout returns the guest memory layout for this function.
+// Layout returns the guest memory layout for this function. The result is
+// memoized per spec.
 func (s *Spec) Layout() (guest.Layout, error) {
-	return guest.NewLayout(s.MemBytes, BootImageBytes)
+	s.layoutOnce.Do(func() {
+		s.layout, s.layoutErr = guest.NewLayout(s.MemBytes, BootImageBytes)
+	})
+	return s.layout, s.layoutErr
 }
 
 // Trace generates the access trace of one invocation with the given input
 // level. The seed drives guest-allocator jitter and run-to-run variability;
 // the same (level, seed) pair always yields the same trace.
+//
+// Compiled traces are cached in a bounded LRU keyed by (function, level,
+// seed): the experiment sweeps replay the same cells hundreds of times and
+// determinism makes a cache hit indistinguishable from a recompile. The
+// returned trace is shared — treat it (and its memoized views) as
+// read-only.
 func (s *Spec) Trace(lv Level, seed int64) (*access.Trace, error) {
 	if !lv.Valid() {
 		return nil, fmt.Errorf("workload: invalid input level %d", int(lv))
+	}
+	key := traceKey{fn: s.Name, lv: lv, seed: seed}
+	if tr, ok := traceCache.lookup(key); ok {
+		return tr, nil
 	}
 	layout, err := s.Layout()
 	if err != nil {
@@ -111,7 +133,76 @@ func (s *Spec) Trace(lv Level, seed int64) (*access.Trace, error) {
 	if b.err != nil {
 		return nil, fmt.Errorf("workload %s: %w", s.Name, b.err)
 	}
+	traceCache.store(key, b.trace)
 	return b.trace, nil
+}
+
+// traceKey identifies one compiled-trace cell.
+type traceKey struct {
+	fn   string
+	lv   Level
+	seed int64
+}
+
+// traceLRU is a mutex-guarded bounded LRU of compiled traces. Concurrent
+// misses on the same key may compile the same trace twice; both results are
+// identical (compilation is deterministic), so the last store simply wins —
+// cheaper than singleflight for a compile measured in tens of microseconds.
+type traceLRU struct {
+	mu    sync.Mutex
+	limit int
+	elems map[traceKey]*list.Element
+	order *list.List // front = most recently used
+}
+
+type traceCacheEntry struct {
+	key traceKey
+	tr  *access.Trace
+}
+
+// traceCacheLimit bounds the cache to a few hundred cells; a full
+// `tossctl all` run cycles through well under that many distinct
+// (function, level, seed) combinations per experiment.
+const traceCacheLimit = 256
+
+var traceCache = traceLRU{
+	limit: traceCacheLimit,
+	elems: map[traceKey]*list.Element{},
+	order: list.New(),
+}
+
+func (c *traceLRU) lookup(k traceKey) (*access.Trace, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.elems[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*traceCacheEntry).tr, true
+}
+
+func (c *traceLRU) store(k traceKey, tr *access.Trace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.elems[k]; ok {
+		el.Value.(*traceCacheEntry).tr = tr
+		c.order.MoveToFront(el)
+		return
+	}
+	c.elems[k] = c.order.PushFront(&traceCacheEntry{key: k, tr: tr})
+	for len(c.elems) > c.limit {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.elems, oldest.Value.(*traceCacheEntry).key)
+	}
+}
+
+// len reports the number of cached traces (for tests).
+func (c *traceLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.elems)
 }
 
 // runtimeProfile shapes the interpreter prologue.

@@ -31,11 +31,10 @@ func WorkingSetPages(tr *access.Trace) int64 {
 // AccessCounts returns the exact per-page access-count histogram of a trace
 // — the ground truth that DAMON's region-based estimate approximates. The
 // DAMON-accuracy audit (internal/obs) joins this against a damon.Pattern to
-// score the profiler.
+// score the profiler. The histogram is the trace's shared memo — treat it
+// as read-only.
 func AccessCounts(tr *access.Trace) *access.Histogram {
-	h := access.NewHistogram()
-	h.AddTrace(tr)
-	return h
+	return tr.Counts()
 }
 
 // WorkingSetMincore returns the mincore-style working set: the touched

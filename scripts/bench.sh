@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench.sh — the benchmark regression harness.
+#
+# Runs the perf-critical benchmarks (trace replay, trace compilation, the
+# TOSS pipeline build) plus the end-to-end `tossctl all` suite serially and
+# in parallel, and emits BENCH_experiments.json. CI uploads the file as an
+# artifact per run; compare it against the checked-in copy at the repo root
+# to spot regressions.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_experiments.json}"
+workers="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== micro-benchmarks ==" >&2
+go test -run='^$' -bench='TraceReplay|TraceCompile|BuildPagerank|SuiteSubset' -benchmem \
+    ./internal/microvm/ ./internal/workload/ ./internal/experiments/ | tee "$tmp/bench.txt" >&2
+
+echo "== suite wall-clock ==" >&2
+go build -o "$tmp/tossctl" ./cmd/tossctl
+
+serial_start=$(date +%s.%N)
+"$tmp/tossctl" -parallel 1 all > "$tmp/serial.txt"
+serial_end=$(date +%s.%N)
+serial=$(echo "$serial_end $serial_start" | awk '{printf "%.2f", $1 - $2}')
+
+par_start=$(date +%s.%N)
+"$tmp/tossctl" -parallel "$workers" all > "$tmp/parallel.txt"
+par_end=$(date +%s.%N)
+par=$(echo "$par_end $par_start" | awk '{printf "%.2f", $1 - $2}')
+
+if ! cmp -s "$tmp/serial.txt" "$tmp/parallel.txt"; then
+    echo "FATAL: tossctl all output differs between -parallel 1 and -parallel $workers" >&2
+    exit 1
+fi
+echo "serial ${serial}s, parallel(${workers}) ${par}s, outputs byte-identical" >&2
+
+go run ./scripts/benchjson -serial "$serial" -parallel "$par" -workers "$workers" \
+    < "$tmp/bench.txt" > "$out"
+echo "wrote $out" >&2

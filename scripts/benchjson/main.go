@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON benchmark report on stdout, optionally joined with suite
+// wall-clock timings passed via flags. CI runs it (see scripts/bench.sh)
+// to emit BENCH_experiments.json, the artifact the perf regression check
+// diffs against; the checked-in copy at the repo root records the numbers
+// quoted in the README.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem ./... | \
+//	    go run ./scripts/benchjson -serial 33.7 -parallel 6.4 -workers 8 > BENCH_experiments.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra carries custom b.ReportMetric units (e.g. "tables/s").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Suite records the end-to-end `tossctl all` wall-clock comparison.
+type Suite struct {
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Workers         int     `json:"workers"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// Report is the document written to stdout.
+type Report struct {
+	Suite      *Suite      `json:"suite,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	serial := flag.Float64("serial", 0, "wall-clock seconds of `tossctl all -parallel 1` (0 omits the suite block)")
+	parallel := flag.Float64("parallel", 0, "wall-clock seconds of `tossctl all -parallel N`")
+	workers := flag.Int("workers", 0, "worker count N used for the parallel run")
+	flag.Parse()
+
+	report := Report{Benchmarks: []Benchmark{}}
+	if *serial > 0 && *parallel > 0 {
+		report.Suite = &Suite{
+			SerialSeconds:   *serial,
+			ParallelSeconds: *parallel,
+			Workers:         *workers,
+			Speedup:         *serial / *parallel,
+		}
+	}
+
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if b, ok := parseBench(line, pkg); ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkTraceReplay-8   9246   120884 ns/op   4768 B/op   9 allocs/op
+func parseBench(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Package: pkg, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[fields[i+1]] = v
+		}
+	}
+	return b, b.NsPerOp > 0 || len(b.Extra) > 0
+}
