@@ -1,8 +1,16 @@
 // Command faasim runs the simulated serverless platform end to end: it
-// registers Table I functions under a chosen snapshot mode (toss, reap, or
-// dram), replays a randomized invocation trace through a worker pool, and
-// prints per-function statistics including the TOSS lifecycle phase and the
-// billed memory cost.
+// registers Table I functions under a chosen snapshot mode (toss, reap,
+// faasnap, dram, or slow), replays a randomized invocation trace through a
+// worker pool, and prints per-function statistics including the TOSS
+// lifecycle phase and the billed memory cost.
+//
+// With -fault-rate, a uniform fault plan (fault.UniformPlan, seeded by
+// -fault-seed) is injected into every machine: slow-tier and disk read
+// stalls, slow-tier outages, snapshot corruption, stale profiles, and
+// keep-alive eviction storms. The platform retries and degrades per
+// FAULTS.md; a post-replay summary reports per-site firings, degraded
+// serves, and retries. Fault injection forces a single worker so the
+// deterministic firing sequence — and the output — is reproducible.
 //
 // With -trace, every invocation is recorded as a virtual-time span tree and
 // written as a Chrome trace_event file (load it at https://ui.perfetto.dev)
@@ -19,7 +27,8 @@
 //
 // Usage:
 //
-//	faasim [-mode toss|reap|dram] [-requests N] [-workers N] [-functions a,b,c]
+//	faasim [-mode toss|reap|faasnap|dram|slow] [-requests N] [-workers N]
+//	       [-functions a,b,c] [-fault-rate 0.05] [-fault-seed N]
 //	       [-trace out.json] [-trace-format chrome|jsonl] [-flame]
 //	       [-http :8080] [-prom out.prom] [-csv out.csv] [-heatmap]
 //	       [-record-interval 100ms] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -38,6 +47,7 @@ import (
 	"time"
 
 	"toss/internal/core"
+	"toss/internal/fault"
 	"toss/internal/obs"
 	"toss/internal/platform"
 	"toss/internal/simtime"
@@ -46,7 +56,7 @@ import (
 )
 
 func main() {
-	modeFlag := flag.String("mode", "toss", "snapshot mode: toss, reap, faasnap, or dram")
+	modeFlag := flag.String("mode", "toss", "snapshot mode: toss, reap, faasnap, dram, or slow")
 	requests := flag.Int("requests", 400, "number of invocations to replay")
 	workers := flag.Int("workers", 4, "invoker pool size")
 	fns := flag.String("functions", "pyaes,json_load_dump,compress", "comma-separated Table I functions")
@@ -60,6 +70,8 @@ func main() {
 	csvOut := flag.String("csv", "", "write the sampled series as CSV to this file (forces -workers 1)")
 	heatmap := flag.Bool("heatmap", false, "print the ASCII tier-residency heatmap (forces -workers 1)")
 	recordInterval := flag.Duration("record-interval", 100*time.Millisecond, "flight-recorder sampling cadence in virtual time")
+	faultRate := flag.Float64("fault-rate", 0, "uniform per-site fault rate in [0, 1] (0 disables; forces -workers 1)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-plan seed (with -fault-rate)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the replay")
 	flag.Parse()
@@ -86,6 +98,8 @@ func main() {
 		mode = platform.ModeFaaSnap
 	case "dram":
 		mode = platform.ModeDRAM
+	case "slow":
+		mode = platform.ModeSlow
 	default:
 		fmt.Fprintf(os.Stderr, "faasim: unknown mode %q\n", *modeFlag)
 		os.Exit(2)
@@ -136,6 +150,18 @@ func main() {
 	cfg.ConvergenceWindow = *window
 	if tracer != nil || recording {
 		cfg.VM.Metrics = telemetry.NewMetrics()
+	}
+	var inj *fault.Injector
+	if *faultRate > 0 {
+		var err error
+		if inj, err = fault.New(fault.UniformPlan(*faultRate, *faultSeed)); err != nil {
+			fmt.Fprintln(os.Stderr, "faasim:", err)
+			os.Exit(2)
+		}
+		cfg.VM.Faults = inj
+		// The injector's per-(site,function) sequence counters are shared
+		// state: concurrent invocations would race the firing order.
+		forceSingleWorker("fault injection")
 	}
 	p, err := platform.New(cfg)
 	if err != nil {
@@ -220,6 +246,24 @@ func main() {
 			st.MeanExec().Std().Round(10e3).String(),
 			st.MaxExec.Std().Round(10e3).String(),
 			st.NormCost, st.SlowShare*100)
+	}
+
+	if inj != nil {
+		var degraded, retries int
+		for _, r := range records {
+			if r.Degraded != "" {
+				degraded++
+			}
+			retries += r.Retries
+		}
+		counts := inj.Counts()
+		fmt.Printf("\nfaults: %d injected (degraded serves %d, retries %d)\n",
+			inj.Total(), degraded, retries)
+		for _, site := range fault.Sites() {
+			if n := counts[site]; n > 0 {
+				fmt.Printf("  %-16s %6d\n", site, n)
+			}
+		}
 	}
 
 	if tracer != nil {

@@ -13,6 +13,8 @@
 // order, so the rendered tables are byte-identical to a serial run.
 // -metrics forces serial execution (the telemetry sink records events in
 // arrival order). -cpuprofile/-memprofile write pprof profiles of the run.
+// -faults <plan.json> injects a fault plan (FAULTS.md) into every
+// experiment and likewise forces serial execution.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"toss/internal/experiments"
+	"toss/internal/fault"
 	"toss/internal/telemetry"
 )
 
@@ -40,6 +43,7 @@ func run() int {
 	timing := flag.Bool("timing", false, "print wall-clock timing per experiment")
 	format := flag.String("format", "table", "output format: table, csv, or json")
 	metrics := flag.Bool("metrics", false, "collect telemetry metrics and dump them after the run (forces -parallel 1)")
+	faults := flag.String("faults", "", "JSON fault plan injected into every experiment (see FAULTS.md; forces -parallel 1)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker pool size (1 = serial; output is identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -90,6 +94,24 @@ func run() int {
 		m := suite.Core.Cost
 		m.CostSlow = m.CostFast / *ratio
 		suite.Core.Cost = m
+	}
+
+	if *faults != "" {
+		plan, err := fault.LoadPlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tossctl:", err)
+			return 2
+		}
+		inj, err := fault.New(plan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tossctl:", err)
+			return 2
+		}
+		suite.Core.VM.Faults = inj
+		// A suite-level injector's sequence counters are shared state:
+		// deterministic firing needs serialized queries (Suite.Pool also
+		// enforces this; set Workers too so the timing line is honest).
+		suite.Workers = 1
 	}
 
 	var met *telemetry.Metrics

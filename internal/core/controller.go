@@ -5,6 +5,7 @@ import (
 
 	"toss/internal/access"
 	"toss/internal/damon"
+	"toss/internal/fault"
 	"toss/internal/microvm"
 	"toss/internal/simtime"
 	"toss/internal/snapshot"
@@ -194,6 +195,24 @@ func (c *Controller) InvokeTraced(lv workload.Level, seed int64, concurrency int
 		if err != nil {
 			return Result{}, err
 		}
+		// Restore-time fault queries (see FAULTS.md). These fire before the
+		// tiered restore is attempted, modelling failures the restore path
+		// itself would hit: the slow tier's device being unreachable, the
+		// snapshot failing its checksum, or the DAMON profile having gone
+		// stale. Callers (internal/platform, internal/sched) own recovery.
+		if inj := c.cfg.VM.Faults; inj != nil {
+			name := c.spec.Name
+			if _, fired := inj.At(fault.SiteSlowOutage, name, 0); fired {
+				return Result{}, fault.Errorf(fault.SiteSlowOutage, name, fault.ErrTierUnavailable)
+			}
+			if _, fired := inj.At(fault.SiteRestoreCorrupt, name, 0); fired {
+				return Result{}, fault.Errorf(fault.SiteRestoreCorrupt, name,
+					fmt.Errorf("%w: injected checksum mismatch (sum %#x)", snapshot.ErrCorrupt, c.tiered.Sum))
+			}
+			if _, fired := inj.At(fault.SiteProfileStale, name, 0); fired {
+				return Result{}, fault.Errorf(fault.SiteProfileStale, name, fault.ErrProfileStale)
+			}
+		}
 		vm := microvm.RestoreTiered(c.cfg.VM, c.pd.Layout, c.tiered, concurrency)
 		vm.SetRecordTruth(false) // profiling is detached in the tiered phase
 		res, err := vm.RunTraced(tr, phaseSpan)
@@ -288,4 +307,77 @@ func (c *Controller) startReprofile() {
 	c.stable = 0
 	c.reprofiles++
 	c.firePhase(PhaseTiered, PhaseProfiling)
+}
+
+// InvokeLazy serves one invocation from the single-tier snapshot with
+// on-demand paging, bypassing the tiered restore path entirely. It is the
+// degradation fallback when the slow tier is unreachable or the profile is
+// stale (FAULTS.md): correctness over placement — every page demand-faults
+// from disk, but no tier is touched. The lifecycle phase is unchanged.
+func (c *Controller) InvokeLazy(lv workload.Level, seed int64, concurrency int, parent *telemetry.Span) (Result, error) {
+	if c.pd == nil || c.pd.Single == nil {
+		return Result{}, fmt.Errorf("core: no single snapshot for lazy fallback")
+	}
+	c.invocations++
+	tr, err := c.spec.Trace(lv, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	var phaseSpan *telemetry.Span
+	if parent != nil {
+		phaseSpan = parent.Child(telemetry.KindControllerPhase, "phase:degraded-lazy", 0)
+	}
+	vm := microvm.RestoreLazy(c.cfg.VM, c.pd.Layout, c.pd.Single, concurrency)
+	vm.SetRecordTruth(false)
+	res, err := vm.RunTraced(tr, phaseSpan)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: lazy fallback: %w", err)
+	}
+	phaseSpan.EndAt(res.Total())
+	return Result{Result: res, Phase: c.phase}, nil
+}
+
+// RecoverCorrupt handles an injected (or detected) snapshot corruption: it
+// invalidates the tiered snapshot, cold-boots the function to re-capture a
+// fresh single-tier snapshot, and — when an analysis already exists —
+// immediately rebuilds the tiered snapshot from it (FAULTS.md's
+// invalidate + cold boot + re-snapshot policy). The returned result is the
+// cold invocation, with the capture cost charged to its setup time.
+func (c *Controller) RecoverCorrupt(lv workload.Level, seed int64, concurrency int, parent *telemetry.Span) (Result, error) {
+	c.invocations++
+	tr, err := c.spec.Trace(lv, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	var phaseSpan *telemetry.Span
+	if parent != nil {
+		phaseSpan = parent.Child(telemetry.KindControllerPhase, "phase:recover-corrupt", 0)
+	}
+	c.tiered = nil
+	vm := microvm.NewBooted(c.cfg.VM, c.pd.Layout)
+	vm.SetLabel(c.spec.Name)
+	vm.SetRecordTruth(false)
+	res, err := vm.RunTraced(tr, phaseSpan)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: corrupt recovery boot: %w", err)
+	}
+	single, snapCost := vm.SnapshotTraced(c.spec.Name, phaseSpan, res.Setup+res.Exec)
+	res.Setup += snapCost
+	c.pd.Single = single
+	if c.analysis != nil {
+		c.tiered = BuildSnapshot(c.pd, c.analysis)
+		c.regen.Generations++
+	}
+	phaseSpan.EndAt(res.Total())
+	return Result{Result: res, Phase: c.phase}, nil
+}
+
+// ForceReprofile demotes a tiered function back to the profiling phase, the
+// stale-profile degradation policy (FAULTS.md): serve from the single
+// snapshot with DAMON re-attached until the pattern re-converges. No-op
+// outside the tiered phase.
+func (c *Controller) ForceReprofile() {
+	if c.phase == PhaseTiered {
+		c.startReprofile()
+	}
 }

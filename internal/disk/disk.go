@@ -107,6 +107,16 @@ func (c Config) RandomRead4K(count int64, concurrency int) simtime.Duration {
 	return simtime.Duration(cost*c.contention(concurrency) + 0.5)
 }
 
+// StallCost scales an injected device stall by the same contention
+// multiplier real reads pay at this concurrency — a device hiccup hurts more
+// on a loaded host.
+func (c Config) StallCost(base simtime.Duration, concurrency int) simtime.Duration {
+	if base <= 0 {
+		return 0
+	}
+	return simtime.Duration(float64(base)*c.contention(concurrency) + 0.5)
+}
+
 // FaultCost returns the time for demand-faulting `pages` guest pages.
 func (c Config) FaultCost(pages int64, concurrency int) simtime.Duration {
 	return c.RandomRead4K(pages, concurrency)

@@ -87,11 +87,14 @@ type buildEntry struct {
 }
 
 // Pool returns the worker pool experiments fan cells out on. It is serial
-// when Workers <= 1 and whenever a recorder, observer, or metrics sink is
-// attached — those consumers record events in arrival order, mirroring
-// faasim's tracing-forces-workers=1 rule.
+// when Workers <= 1 and whenever a recorder, observer, metrics sink, or
+// suite-level fault injector is attached — those consumers record (or, for
+// the injector, sequence-count) events in arrival order, mirroring faasim's
+// tracing-forces-workers=1 rule. Experiments that build their own per-cell
+// injectors (ext8) stay parallel-safe: each cell's sequence counters are
+// private.
 func (s *Suite) Pool() *par.Pool {
-	if s.Workers <= 1 || s.Obs != nil || s.Core.VM.Observer != nil || s.Core.VM.Metrics != nil {
+	if s.Workers <= 1 || s.Obs != nil || s.Core.VM.Observer != nil || s.Core.VM.Metrics != nil || s.Core.VM.Faults != nil {
 		return par.Serial
 	}
 	s.poolOnce.Do(func() { s.pool = par.New(s.Workers) })
@@ -227,7 +230,7 @@ type Runner func(*Suite) (*Table, error)
 var registryOrder = []string{
 	"table1", "fig1", "fig2", "fig3", "fig5", "table2",
 	"fig6", "fig7", "fig8", "fig9", "sec6c3a", "sec6c3b",
-	"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
+	"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
 }
 
 var registry = map[string]Runner{
@@ -250,6 +253,7 @@ var registry = map[string]Runner{
 	"ext5":    ExtMemoryIntensity,
 	"ext6":    ExtFaaSnapInflation,
 	"ext7":    ExtPackingDensity,
+	"ext8":    ExtFaultTolerance,
 }
 
 // IDs returns all experiment identifiers in canonical order.

@@ -1,0 +1,92 @@
+package fault
+
+import "testing"
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 2})
+	for i := 0; i < 2; i++ {
+		b.Record("f", true)
+		if !b.Allow("f") {
+			t.Fatalf("rejected before threshold (fault %d)", i+1)
+		}
+	}
+	b.Record("f", true) // third consecutive fault trips it
+	if b.State("f") != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State("f"))
+	}
+	if b.Allow("f") {
+		t.Fatal("open breaker allowed")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d", b.Trips())
+	}
+	// Other functions are unaffected.
+	if !b.Allow("g") || b.State("g") != BreakerClosed {
+		t.Fatal("unrelated function affected")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: 2})
+	b.Record("f", true)
+	b.Record("f", false) // streak broken
+	b.Record("f", true)
+	if b.State("f") != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State("f"))
+	}
+}
+
+func TestBreakerHalfOpenTrial(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 2})
+	b.Record("f", true)
+	if b.State("f") != BreakerOpen {
+		t.Fatal("did not trip")
+	}
+	if b.Allow("f") {
+		t.Fatal("allowed during cooldown")
+	}
+	if !b.Allow("f") { // cooldown spent → half-open trial
+		t.Fatal("no trial after cooldown")
+	}
+	if b.State("f") != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State("f"))
+	}
+	// Clean trial closes it.
+	b.Record("f", false)
+	if b.State("f") != BreakerClosed || !b.Allow("f") {
+		t.Fatal("clean trial did not close")
+	}
+
+	// Trip again; a faulted trial reopens with a fresh cooldown.
+	b.Record("f", true)
+	b.Allow("f")
+	if !b.Allow("f") {
+		t.Fatal("no second trial")
+	}
+	b.Record("f", true)
+	if b.State("f") != BreakerOpen {
+		t.Fatalf("state = %v, want reopen", b.State("f"))
+	}
+	if b.Trips() != 3 {
+		t.Fatalf("trips = %d, want 3", b.Trips())
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if !b.Allow("f") {
+		t.Fatal("nil breaker rejected")
+	}
+	b.Record("f", true)
+	if b.State("f") != BreakerClosed || b.Trips() != 0 {
+		t.Fatal("nil breaker has state")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	def := DefaultBreakerConfig()
+	if b.cfg.Threshold != def.Threshold || b.cfg.Cooldown != def.Cooldown {
+		t.Fatalf("defaults not applied: %+v", b.cfg)
+	}
+}

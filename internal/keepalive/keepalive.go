@@ -10,6 +10,7 @@ package keepalive
 
 import (
 	"fmt"
+	"sort"
 
 	"toss/internal/costmodel"
 	"toss/internal/guest"
@@ -133,6 +134,26 @@ func (c *Cache) Drop(fn string) bool {
 	}
 	c.remove(fn)
 	return true
+}
+
+// Flush evicts every cached VM at once — the keep-alive eviction storm an
+// injected fault.SiteEvictStorm models (a host OOM kill or capacity
+// reclaim). Each removal counts as an eviction. The evicted names return
+// in sorted order so callers stay deterministic.
+func (c *Cache) Flush() []string {
+	if len(c.items) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(c.items))
+	for fn := range c.items {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+	for _, fn := range names {
+		c.remove(fn)
+		c.stats.Evictions++
+	}
+	return names
 }
 
 // Admit inserts (or refreshes) a warm VM, evicting minimum-priority items

@@ -248,3 +248,29 @@ func TestCapacityInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFlushEvictsEverythingSorted(t *testing.T) {
+	c := newCache(t, 1000, 1000)
+	for _, fn := range []string{"zeta", "alpha", "mid"} {
+		if _, ok := c.Admit(item(fn, 10, 10, simtime.Millisecond)); !ok {
+			t.Fatalf("admit %s failed", fn)
+		}
+	}
+	names := c.Flush()
+	if want := []string{"alpha", "mid", "zeta"}; len(names) != 3 ||
+		names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Errorf("Flush = %v, want %v", names, want)
+	}
+	if fast, slow := c.Occupancy(); fast != 0 || slow != 0 {
+		t.Errorf("occupancy after flush = %d/%d, want empty", fast, slow)
+	}
+	if c.Contains("alpha") {
+		t.Error("flushed entry still present")
+	}
+	if st := c.Stats(); st.Evictions != 3 {
+		t.Errorf("Evictions = %d, want 3", st.Evictions)
+	}
+	if got := c.Flush(); got != nil {
+		t.Errorf("Flush of empty cache = %v, want nil", got)
+	}
+}

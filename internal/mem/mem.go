@@ -194,6 +194,15 @@ func (m *Meter) ChargePages(c Config, e access.Event, t Tier, concurrency int, p
 	return cpu + memsvc
 }
 
+// ChargeStall attributes an injected device/tier stall to a tier's memory
+// service time. The stall is pure wait, not work, so no line touches are
+// counted — tier hit ratios stay a function of the placement alone.
+func (m *Meter) ChargeStall(t Tier, d simtime.Duration) {
+	if d > 0 {
+		m.MemTime[t] += d
+	}
+}
+
 // Total returns all time accumulated by the meter.
 func (m *Meter) Total() simtime.Duration {
 	return m.CPUTime + m.MemTime[Fast] + m.MemTime[Slow]

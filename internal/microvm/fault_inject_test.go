@@ -1,0 +1,124 @@
+package microvm
+
+import (
+	"testing"
+
+	"toss/internal/fault"
+	"toss/internal/guest"
+	"toss/internal/mem"
+	"toss/internal/simtime"
+	"toss/internal/snapshot"
+)
+
+func mustInjector(t *testing.T, plan fault.Plan) *fault.Injector {
+	t.Helper()
+	inj, err := fault.New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// TestSlowReadInjectionStallsSlowTier pins the slow-tier stall site: with
+// the injector firing on every slow-tier access burst, execution slows by
+// exactly the injected stall, the stall is charged to slow-tier memory time,
+// and the placement-purity invariant holds (line touches are unchanged, so
+// hit ratios stay fault-free).
+func TestSlowReadInjectionStallsSlowTier(t *testing.T) {
+	cfg := DefaultConfig()
+	l := testLayout(t)
+	resident := []guest.Region{{Start: 0, Pages: 512}}
+	ts := buildTiered(t, l, resident, resident) // all-slow
+	tr := randTrace(guest.Region{Start: 0, Pages: 512}, 4)
+
+	clean, err := RestoreTiered(cfg, l, ts, 1).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Faults = mustInjector(t, fault.Plan{Seed: 1, Sites: map[fault.Site]fault.Spec{
+		fault.SiteSlowRead: {Rate: 1, Stall: 2 * simtime.Millisecond},
+	}})
+	faulty, err := RestoreTiered(cfg, l, ts, 1).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if faulty.InjectedFaults == 0 {
+		t.Fatal("rate-1 slow-read site never fired")
+	}
+	if faulty.InjectedStall <= 0 {
+		t.Fatal("fired faults recorded no stall")
+	}
+	if got, want := faulty.Exec-clean.Exec, faulty.InjectedStall; got != want {
+		t.Errorf("exec grew by %v, want the injected stall %v", got, want)
+	}
+	if got, want := faulty.Meter.MemTime[mem.Slow]-clean.Meter.MemTime[mem.Slow], faulty.InjectedStall; got != want {
+		t.Errorf("slow-tier mem time grew by %v, want %v", got, want)
+	}
+	if faulty.Meter.LineTouches != clean.Meter.LineTouches {
+		t.Errorf("stalls changed line touches: %v vs %v (hit ratios must stay placement-pure)",
+			faulty.Meter.LineTouches, clean.Meter.LineTouches)
+	}
+}
+
+// TestDiskReadInjectionStallsDemandFaults pins the disk site: stalls ride
+// inside demand-read burst costs, so fault time and exec grow while the
+// fault counts themselves are untouched.
+func TestDiskReadInjectionStallsDemandFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	l := testLayout(t)
+	snap := &snapshot.Single{Function: "f", Memory: snapshot.NewMemory("f", l.TotalPages,
+		[]guest.Region{{Start: 0, Pages: 512}})}
+	tr := randTrace(guest.Region{Start: 0, Pages: 512}, 1)
+
+	clean, err := RestoreLazy(cfg, l, snap, 1).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Faults = mustInjector(t, fault.Plan{Seed: 1, Sites: map[fault.Site]fault.Spec{
+		fault.SiteDiskRead: {Rate: 1, Stall: simtime.Millisecond},
+	}})
+	faulty, err := RestoreLazy(cfg, l, snap, 1).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if faulty.InjectedFaults == 0 {
+		t.Fatal("rate-1 disk-read site never fired")
+	}
+	if got, want := faulty.FaultTime-clean.FaultTime, faulty.InjectedStall; got != want {
+		t.Errorf("fault time grew by %v, want the injected stall %v", got, want)
+	}
+	if faulty.MajorFaults != clean.MajorFaults {
+		t.Errorf("stalls changed major faults: %d vs %d", faulty.MajorFaults, clean.MajorFaults)
+	}
+}
+
+// TestZeroRateInjectorIsInert pins the invariant the zero-fault acceptance
+// check rides on: an attached injector whose sites never fire changes no
+// result field relative to no injector at all.
+func TestZeroRateInjectorIsInert(t *testing.T) {
+	cfg := DefaultConfig()
+	l := testLayout(t)
+	resident := []guest.Region{{Start: 0, Pages: 256}}
+	ts := buildTiered(t, l, resident, resident)
+	tr := randTrace(guest.Region{Start: 0, Pages: 256}, 2)
+
+	clean, err := RestoreTiered(cfg, l, ts, 1).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = mustInjector(t, fault.UniformPlan(0, 1))
+	inert, err := RestoreTiered(cfg, l, ts, 1).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inert.InjectedFaults != 0 || inert.InjectedStall != 0 {
+		t.Errorf("zero-rate injector fired: %d fires, %v stall", inert.InjectedFaults, inert.InjectedStall)
+	}
+	if inert.Exec != clean.Exec || inert.Meter != clean.Meter {
+		t.Errorf("zero-rate injector changed the result: exec %v vs %v", inert.Exec, clean.Exec)
+	}
+}

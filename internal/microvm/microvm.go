@@ -23,6 +23,7 @@ import (
 
 	"toss/internal/access"
 	"toss/internal/disk"
+	"toss/internal/fault"
 	"toss/internal/guest"
 	"toss/internal/mem"
 	"toss/internal/simtime"
@@ -71,6 +72,14 @@ type Config struct {
 	// default) disables observation at the cost of one interface comparison
 	// per site.
 	Observer Observer
+	// Faults, when non-nil, injects deterministic device stalls into the
+	// replay hot loop (slow-tier reads, snapshot demand reads) of every
+	// machine built with this config; restore-time sites are queried by the
+	// callers that can return errors (core, platform, reap, sched). Nil
+	// (the default) disables injection at the cost of one pointer
+	// comparison per site — the zero-fault platform is byte-identical to
+	// the pre-fault one. See FAULTS.md.
+	Faults *fault.Injector
 }
 
 // Observer receives machine lifecycle callbacks. Implementations must be
@@ -350,6 +359,11 @@ type Result struct {
 	Truth *access.Histogram
 	// Trace is the executed trace (for working-set extraction).
 	Trace *access.Trace
+	// InjectedFaults counts fault-injector firings during the run, and
+	// InjectedStall the virtual time they added (already included in Exec
+	// and, per tier, in the Meter).
+	InjectedFaults int64
+	InjectedStall  simtime.Duration
 }
 
 // Total returns setup plus execution — the paper's "invocation time".
@@ -385,6 +399,7 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 	if met != nil {
 		faultHist = met.Histogram(telemetry.MetricFaultLatency, telemetry.LatencyBuckets())
 	}
+	inj := m.cfg.Faults
 	ob := m.cfg.Observer
 	if ob != nil {
 		kind := m.setupName
@@ -418,6 +433,17 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 			newStored, newZero := m.touch(seg.Region)
 			if newStored+newZero > 0 {
 				cost, major, minor := m.faultCost(e, seg.Tier, newStored, newZero)
+				if inj != nil && newStored > 0 && m.backing != BackingAnon {
+					// An injected SSD hiccup stalls this demand-read burst;
+					// the stall rides inside the burst's cost so spans,
+					// histograms, and observers all see it.
+					if spec, fired := inj.At(fault.SiteDiskRead, m.label, m.setup+clock.Now()); fired {
+						stall := m.cfg.Disk.StallCost(spec.Stall, m.concurrency)
+						cost += stall
+						res.InjectedFaults++
+						res.InjectedStall += stall
+					}
+				}
 				if execSpan != nil {
 					fs := execSpan.Child(telemetry.KindDemandFault, "fault",
 						m.setup+clock.Now(),
@@ -438,6 +464,18 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 			}
 			// Memory service.
 			clock.Advance(res.Meter.ChargePages(m.cfg.Mem, e, seg.Tier, m.concurrency, seg.Region.Pages))
+			if inj != nil && seg.Tier == mem.Slow {
+				// An injected slow-tier device stall delays this DAX access
+				// burst, scaled by the tier's contention factor and charged
+				// to slow-tier memory time.
+				if spec, fired := inj.At(fault.SiteSlowRead, m.label, m.setup+clock.Now()); fired {
+					stall := simtime.Duration(float64(spec.Stall)*m.cfg.Mem.ContentionFactor(mem.Slow, m.concurrency) + 0.5)
+					clock.Advance(stall)
+					res.Meter.ChargeStall(mem.Slow, stall)
+					res.InjectedFaults++
+					res.InjectedStall += stall
+				}
+			}
 		}
 	}
 	res.Exec = clock.Now()
@@ -457,6 +495,10 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 		met.Counter(telemetry.MetricCPUTime).Add(res.Meter.CPUTime.Nanoseconds())
 		met.Counter(telemetry.MetricFastTierTime).Add(res.Meter.MemTime[mem.Fast].Nanoseconds())
 		met.Counter(telemetry.MetricSlowTierTime).Add(res.Meter.MemTime[mem.Slow].Nanoseconds())
+		if res.InjectedFaults > 0 {
+			met.Counter(telemetry.MetricFaultInjected).Add(res.InjectedFaults)
+			met.Counter(telemetry.MetricFaultStallTime).Add(res.InjectedStall.Nanoseconds())
+		}
 	}
 	return res, nil
 }

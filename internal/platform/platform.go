@@ -16,6 +16,8 @@ import (
 	"toss/internal/access"
 	"toss/internal/core"
 	"toss/internal/damon"
+	"toss/internal/fault"
+	"toss/internal/mem"
 	"toss/internal/microvm"
 	"toss/internal/obs"
 	"toss/internal/par"
@@ -38,6 +40,9 @@ const (
 	ModeDRAM
 	// ModeFaaSnap serves with FaaSnap's mincore-inflated working sets.
 	ModeFaaSnap
+	// ModeSlow serves every resident page from the slow tier (an all-slow
+	// tiered snapshot) — the other bookend baseline next to ModeDRAM.
+	ModeSlow
 )
 
 // String names the mode.
@@ -51,6 +56,8 @@ func (m Mode) String() string {
 		return "dram"
 	case ModeFaaSnap:
 		return "faasnap"
+	case ModeSlow:
+		return "slow"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -77,6 +84,10 @@ type Platform struct {
 	// has its virtual clock advanced by each invocation's duration. Like the
 	// tracer, deterministic output needs serialized invocations.
 	recorder *obs.Recorder
+
+	// policy governs retry and graceful degradation when restore-path
+	// faults (cfg.VM.Faults) fire. See FAULTS.md.
+	policy FaultPolicy
 }
 
 // SetTracer attaches a tracer; each invocation becomes one root span with
@@ -111,6 +122,11 @@ type functionState struct {
 	faasnap *reap.FaaSnapManager
 	// dramSnap backs ModeDRAM after its first invocation.
 	dramSnap *snapshot.Single
+	// slowSnap/slowSingle back ModeSlow after its first invocation: the
+	// all-slow tiered snapshot and the single image it was built from
+	// (kept for the lazy outage fallback).
+	slowSnap   *snapshot.Tiered
+	slowSingle *snapshot.Single
 
 	stats Stats
 }
@@ -146,7 +162,7 @@ func New(cfg core.Config) (*Platform, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Platform{cfg: cfg, fns: make(map[string]*functionState)}, nil
+	return &Platform{cfg: cfg, fns: make(map[string]*functionState), policy: DefaultFaultPolicy()}, nil
 }
 
 // Register adds a function under the given serving mode.
@@ -193,8 +209,8 @@ func (p *Platform) Register(spec *workload.Spec, mode Mode) error {
 			return err
 		}
 		fs.faasnap = m
-	case ModeDRAM:
-		// Lazily captures its snapshot on first invocation.
+	case ModeDRAM, ModeSlow:
+		// Lazily capture their snapshots on first invocation.
 	default:
 		return fmt.Errorf("platform: unknown mode %v", mode)
 	}
@@ -222,7 +238,21 @@ type Record struct {
 	Setup    simtime.Duration
 	Exec     simtime.Duration
 	Faults   int64
-	Err      error
+	// Meter is the invocation's per-tier time/touch accounting (zero on
+	// error); ext8 derives fast-tier hit ratios from its LineTouches.
+	Meter mem.Meter
+	// Retries counts fault-policy retries; their backoff is in Setup.
+	Retries int
+	// Degraded names the degradation policy that served this invocation
+	// ("" when the primary path succeeded). See FAULTS.md.
+	Degraded string
+	// FaultSite is the injection site that caused the retry/degradation.
+	FaultSite string
+	// Err is non-nil when the invocation failed outright. With the fault
+	// policy's Degrade disabled, injected faults surface here as typed
+	// errors: errors.Is sees fault.ErrTierUnavailable, snapshot.ErrCorrupt,
+	// or fault.ErrProfileStale, and errors.As extracts *fault.SiteError.
+	Err error
 }
 
 // Total returns setup + execution.
@@ -257,20 +287,34 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 
 	switch fs.mode {
 	case ModeTOSS:
-		res, err := fs.toss.InvokeTraced(lv, seed, conc, span)
+		var phase core.Phase
+		res, err := p.retry(&rec, func() (microvm.Result, error) {
+			r, e := fs.toss.InvokeTraced(lv, seed, conc, span)
+			phase = r.Phase
+			return r.Result, e
+		})
+		if err != nil && fault.SiteOf(err) != "" {
+			rec.FaultSite = string(fault.SiteOf(err))
+			if p.policy.Degrade {
+				var dres core.Result
+				dres, err = p.degradeTOSS(fs, &rec, err, lv, seed, conc, span)
+				res, phase = dres.Result, dres.Phase
+			}
+		}
 		if err != nil {
-			rec.Err = err
+			rec.Err = p.wrapFault(err)
 			return p.finish(fs, rec, span)
 		}
-		rec.Phase = res.Phase
-		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
+		rec.Phase = phase
+		rec.Setup += res.Setup
+		rec.Exec, rec.Faults, rec.Meter = res.Exec, res.MajorFaults, res.Meter
 		fs.stats.Phase = fs.toss.Phase()
 		if a := fs.toss.Analysis(); a != nil {
 			fs.stats.NormCost = a.MinCost()
 			fs.stats.SlowShare = a.SlowShare()
 		}
 		if span != nil {
-			span.Annotate(telemetry.Str("phase", res.Phase.String()))
+			span.Annotate(telemetry.Str("phase", phase.String()))
 		}
 	case ModeREAP:
 		res, err := fs.reap.InvokeTraced(lv, seed, conc, span)
@@ -278,21 +322,54 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 			rec.Err = err
 			return p.finish(fs, rec, span)
 		}
-		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
+		if res.PrefetchFailed {
+			rec.Degraded = DegradeLazy
+			rec.FaultSite = string(fault.SitePrefetch)
+		}
+		rec.Setup, rec.Exec, rec.Faults, rec.Meter = res.Setup, res.Exec, res.MajorFaults, res.Meter
 	case ModeFaaSnap:
 		res, err := fs.faasnap.InvokeTraced(lv, seed, conc, span)
 		if err != nil {
 			rec.Err = err
 			return p.finish(fs, rec, span)
 		}
-		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
+		if res.PrefetchFailed {
+			rec.Degraded = DegradeLazy
+			rec.FaultSite = string(fault.SitePrefetch)
+		}
+		rec.Setup, rec.Exec, rec.Faults, rec.Meter = res.Setup, res.Exec, res.MajorFaults, res.Meter
 	case ModeDRAM:
-		res, err := p.invokeDRAM(fs, lv, seed, conc, span)
+		res, err := p.retry(&rec, func() (microvm.Result, error) {
+			return p.invokeDRAM(fs, lv, seed, conc, span)
+		})
+		if err != nil && fault.SiteOf(err) != "" {
+			rec.FaultSite = string(fault.SiteOf(err))
+			if p.policy.Degrade {
+				res, err = p.degradeDRAM(fs, &rec, err, lv, seed, conc, span)
+			}
+		}
 		if err != nil {
-			rec.Err = err
+			rec.Err = p.wrapFault(err)
 			return p.finish(fs, rec, span)
 		}
-		rec.Setup, rec.Exec, rec.Faults = res.Setup, res.Exec, res.MajorFaults
+		rec.Setup += res.Setup
+		rec.Exec, rec.Faults, rec.Meter = res.Exec, res.MajorFaults, res.Meter
+	case ModeSlow:
+		res, err := p.retry(&rec, func() (microvm.Result, error) {
+			return p.invokeSlow(fs, lv, seed, conc, span)
+		})
+		if err != nil && fault.SiteOf(err) != "" {
+			rec.FaultSite = string(fault.SiteOf(err))
+			if p.policy.Degrade {
+				res, err = p.degradeSlow(fs, &rec, err, lv, seed, conc, span)
+			}
+		}
+		if err != nil {
+			rec.Err = p.wrapFault(err)
+			return p.finish(fs, rec, span)
+		}
+		rec.Setup += res.Setup
+		rec.Exec, rec.Faults, rec.Meter = res.Exec, res.MajorFaults, res.Meter
 	}
 
 	fs.stats.Invocations++
@@ -305,6 +382,16 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 	return p.finish(fs, rec, span)
 }
 
+// wrapFault adds platform context to a fault-site error while preserving
+// the typed chain (errors.Is/As still see the sentinel and *SiteError).
+// Non-fault errors pass through unchanged.
+func (p *Platform) wrapFault(err error) error {
+	if fault.SiteOf(err) == "" {
+		return err
+	}
+	return fmt.Errorf("platform: unrecovered fault: %w", err)
+}
+
 // finish closes the invocation's root span and records platform metrics,
 // then advances the flight recorder's virtual clock by the invocation's
 // duration so samples land on the platform's accumulated timeline.
@@ -312,12 +399,22 @@ func (p *Platform) finish(fs *functionState, rec Record, span *telemetry.Span) R
 	span.EndAt(rec.Total())
 	if met := p.cfg.VM.Metrics; met != nil {
 		met.Counter(telemetry.MetricInvocations).Add(1)
+		if rec.Retries > 0 {
+			met.Counter(telemetry.MetricFaultRetries).Add(int64(rec.Retries))
+		}
 		if rec.Err != nil {
 			met.Counter(telemetry.MetricInvokeErrors).Add(1)
 		} else {
 			met.Counter(telemetry.MetricBilledTime).Add(rec.Total().Nanoseconds())
 			met.Counter(telemetry.MetricPlatformFaults).Add(rec.Faults)
+			if rec.Degraded != "" {
+				met.Counter(telemetry.MetricDegraded).Add(1)
+				met.Counter(telemetry.MetricRecoveryLatency).Add(rec.Total().Nanoseconds())
+			}
 		}
+	}
+	if rec.Degraded != "" && rec.Err == nil {
+		p.recorder.ObservePhase(rec.Function, "fault:"+rec.FaultSite, "degraded:"+rec.Degraded, fs.stats.Invocations)
 	}
 	if rec.Err == nil {
 		p.recorder.Advance(rec.Total())
@@ -347,7 +444,54 @@ func (p *Platform) invokeDRAM(fs *functionState, lv workload.Level, seed int64, 
 		res.Setup += cost
 		return res, nil
 	}
+	// Restore-time corruption fault (FAULTS.md): the lazy-restore snapshot
+	// can rot on disk just like a tiered one.
+	if _, fired := p.cfg.VM.Faults.At(fault.SiteRestoreCorrupt, fs.spec.Name, 0); fired {
+		return microvm.Result{}, fault.Errorf(fault.SiteRestoreCorrupt, fs.spec.Name,
+			fmt.Errorf("%w: injected checksum mismatch", snapshot.ErrCorrupt))
+	}
 	vm := microvm.RestoreLazy(p.cfg.VM, layout, fs.dramSnap, conc)
+	return vm.RunTraced(tr, span)
+}
+
+// invokeSlow serves the slow-only baseline: every resident page lives in
+// the slow tier via an all-slow tiered snapshot, captured (like ModeDRAM's)
+// on the first invocation.
+func (p *Platform) invokeSlow(fs *functionState, lv workload.Level, seed int64, conc int, span *telemetry.Span) (microvm.Result, error) {
+	layout, err := fs.spec.Layout()
+	if err != nil {
+		return microvm.Result{}, err
+	}
+	tr, err := fs.spec.Trace(lv, seed)
+	if err != nil {
+		return microvm.Result{}, err
+	}
+	if fs.slowSnap == nil {
+		vm := microvm.NewBooted(p.cfg.VM, layout)
+		vm.SetLabel(fs.spec.Name)
+		res, err := vm.RunTraced(tr, span)
+		if err != nil {
+			return microvm.Result{}, err
+		}
+		single, cost := vm.SnapshotTraced(fs.spec.Name, span, res.Setup+res.Exec)
+		fs.slowSingle = single
+		fs.slowSnap = snapshot.BuildTiered(single, mem.AllSlow(layout.TotalPages))
+		res.Setup += cost
+		return res, nil
+	}
+	// Restore-time faults (FAULTS.md): the slow tier can be unreachable,
+	// and the snapshot can fail its checksum.
+	if inj := p.cfg.VM.Faults; inj != nil {
+		if _, fired := inj.At(fault.SiteSlowOutage, fs.spec.Name, 0); fired {
+			return microvm.Result{}, fault.Errorf(fault.SiteSlowOutage, fs.spec.Name, fault.ErrTierUnavailable)
+		}
+		if _, fired := inj.At(fault.SiteRestoreCorrupt, fs.spec.Name, 0); fired {
+			return microvm.Result{}, fault.Errorf(fault.SiteRestoreCorrupt, fs.spec.Name,
+				fmt.Errorf("%w: injected checksum mismatch (sum %#x)", snapshot.ErrCorrupt, fs.slowSnap.Sum))
+		}
+	}
+	vm := microvm.RestoreTiered(p.cfg.VM, layout, fs.slowSnap, conc)
+	vm.SetRecordTruth(false)
 	return vm.RunTraced(tr, span)
 }
 

@@ -21,6 +21,7 @@ package reap
 import (
 	"fmt"
 
+	"toss/internal/fault"
 	"toss/internal/guest"
 	"toss/internal/microvm"
 	"toss/internal/simtime"
@@ -82,6 +83,9 @@ type Result struct {
 	FirstInvocation bool
 	// SnapshotCost is the time spent writing the snapshot (first run only).
 	SnapshotCost simtime.Duration
+	// PrefetchFailed is true when an injected prefetch-thread failure
+	// (fault.SitePrefetch) degraded this restore to lazy on-demand paging.
+	PrefetchFailed bool
 }
 
 // Invoke serves one invocation with the given input level and seed at the
@@ -117,14 +121,26 @@ func (m *Manager) InvokeTraced(lv workload.Level, seed int64, concurrency int, s
 		m.invocations++
 		return Result{Result: res, FirstInvocation: true, SnapshotCost: cost}, nil
 	}
-	vm := microvm.RestoreREAP(m.cfg, m.layout, m.snap, m.ws, concurrency)
+	// An injected prefetch-thread failure degrades this restore to lazy
+	// on-demand paging: the snapshot is intact, only the eager working-set
+	// read is lost, so every WS page demand-faults instead (FAULTS.md).
+	prefetchFailed := false
+	if _, fired := m.cfg.Faults.At(fault.SitePrefetch, m.spec.Name, 0); fired {
+		prefetchFailed = true
+	}
+	var vm *microvm.Machine
+	if prefetchFailed {
+		vm = microvm.RestoreLazy(m.cfg, m.layout, m.snap, concurrency)
+	} else {
+		vm = microvm.RestoreREAP(m.cfg, m.layout, m.snap, m.ws, concurrency)
+	}
 	vm.SetRecordTruth(false)
 	res, err := vm.RunTraced(tr, span)
 	if err != nil {
 		return Result{}, fmt.Errorf("reap: invocation: %w", err)
 	}
 	m.invocations++
-	return Result{Result: res}, nil
+	return Result{Result: res, PrefetchFailed: prefetchFailed}, nil
 }
 
 // Invocations returns the number of invocations served so far.

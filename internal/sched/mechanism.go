@@ -1,9 +1,11 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"toss/internal/core"
+	"toss/internal/fault"
 	"toss/internal/guest"
 	"toss/internal/mem"
 	"toss/internal/microvm"
@@ -17,12 +19,16 @@ import (
 // mechanism adapts one snapshot system to the simulator: cold restores,
 // warm (resumed) invocations, background pre-warm restores, and the warm
 // VM's per-tier footprint for the keep-alive cache.
+//
+// The faulted return reports that an injected restore fault fired and the
+// invocation was served through a degradation policy (FAULTS.md); the
+// simulator feeds it to the per-function circuit breaker.
 type mechanism interface {
 	// invokeCold restores from storage and runs.
-	invokeCold(a trace.Arrival, conc int) (setup, exec simtime.Duration, err error)
+	invokeCold(a trace.Arrival, conc int) (setup, exec simtime.Duration, faulted bool, err error)
 	// invokeWarm runs in a resumed kept-alive VM (no restore, memory
 	// resident in its tiers).
-	invokeWarm(a trace.Arrival, conc int) (exec simtime.Duration, err error)
+	invokeWarm(a trace.Arrival, conc int) (exec simtime.Duration, faulted bool, err error)
 	// prewarm performs a background restore, returning its cost.
 	prewarm() (simtime.Duration, error)
 	// footprint returns the warm VM's (fastPages, slowPages).
@@ -74,22 +80,51 @@ type tossMech struct {
 	ctrl   *core.Controller
 }
 
-func (m *tossMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, error) {
+func (m *tossMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, bool, error) {
 	res, err := m.ctrl.Invoke(a.Level, a.Seed, conc)
-	if err != nil {
-		return 0, 0, err
+	if err == nil {
+		return res.Setup, res.Exec, false, nil
 	}
-	return res.Setup, res.Exec, nil
+	res, err = m.recover(err, a, conc)
+	if err != nil {
+		return 0, 0, true, err
+	}
+	return res.Setup, res.Exec, true, nil
+}
+
+// recover applies the same degradation policies internal/platform uses
+// (FAULTS.md): outage → lazy fallback, corruption → invalidate and
+// re-snapshot, stale profile → demote to profiling and serve lazily.
+// Unrecognized errors pass through.
+func (m *tossMech) recover(cause error, a trace.Arrival, conc int) (core.Result, error) {
+	switch {
+	case errors.Is(cause, fault.ErrTierUnavailable):
+		return m.ctrl.InvokeLazy(a.Level, a.Seed, conc, nil)
+	case errors.Is(cause, snapshot.ErrCorrupt):
+		return m.ctrl.RecoverCorrupt(a.Level, a.Seed, conc, nil)
+	case errors.Is(cause, fault.ErrProfileStale):
+		m.ctrl.ForceReprofile()
+		return m.ctrl.InvokeLazy(a.Level, a.Seed, conc, nil)
+	}
+	return core.Result{}, cause
 }
 
 // invokeWarm still routes through the controller so profiling-phase
 // bookkeeping (pattern folding, convergence, Eq. 4 counters) continues; the
 // restore cost inside the result is discarded because the VM was resumed,
 // not restored.
-func (m *tossMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, error) {
+func (m *tossMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, bool, error) {
 	res, err := m.ctrl.Invoke(a.Level, a.Seed, conc)
+	faulted := false
 	if err != nil {
-		return 0, err
+		// The controller's restore-time fault queries fire even though this
+		// VM was resumed; recover exactly like a cold start so the warm
+		// path never errors out under injection.
+		faulted = true
+		res, err = m.recover(err, a, conc)
+		if err != nil {
+			return 0, true, err
+		}
 	}
 	exec := res.Exec
 	// A warm tiered VM has no fast-tier demand faults left to take.
@@ -99,7 +134,7 @@ func (m *tossMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, erro
 			exec = 0
 		}
 	}
-	return exec, nil
+	return exec, faulted, nil
 }
 
 func (m *tossMech) prewarm() (simtime.Duration, error) {
@@ -127,16 +162,17 @@ type reapMech struct {
 	mgr    *reap.Manager
 }
 
-func (m *reapMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, error) {
+func (m *reapMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, bool, error) {
 	res, err := m.mgr.Invoke(a.Level, a.Seed, conc)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
-	return res.Setup, res.Exec, nil
+	return res.Setup, res.Exec, res.PrefetchFailed, nil
 }
 
-func (m *reapMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, error) {
-	return residentExec(m.cfg, m.spec, m.layout, a, conc)
+func (m *reapMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, bool, error) {
+	exec, err := residentExec(m.cfg, m.spec, m.layout, a, conc)
+	return exec, false, err
 }
 
 func (m *reapMech) prewarm() (simtime.Duration, error) {
@@ -168,16 +204,17 @@ type faasnapMech struct {
 	mgr    *reap.FaaSnapManager
 }
 
-func (m *faasnapMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, error) {
+func (m *faasnapMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, bool, error) {
 	res, err := m.mgr.Invoke(a.Level, a.Seed, conc)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
-	return res.Setup, res.Exec, nil
+	return res.Setup, res.Exec, res.PrefetchFailed, nil
 }
 
-func (m *faasnapMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, error) {
-	return residentExec(m.cfg, m.spec, m.layout, a, conc)
+func (m *faasnapMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, bool, error) {
+	exec, err := residentExec(m.cfg, m.spec, m.layout, a, conc)
+	return exec, false, err
 }
 
 func (m *faasnapMech) prewarm() (simtime.Duration, error) {
@@ -205,33 +242,37 @@ type dramMech struct {
 	snap   *snapshot.Single
 }
 
-func (m *dramMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, error) {
+// invokeCold never reports faulted: the simulated DRAM baseline is scoped
+// to in-execution fault sites (disk-read stalls, which fold into exec time);
+// restore-corruption recovery for DRAM lives in internal/platform.
+func (m *dramMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simtime.Duration, bool, error) {
 	tr, err := m.spec.Trace(a.Level, a.Seed)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	if m.snap == nil {
 		vm := microvm.NewBooted(m.cfg.Core.VM, m.layout)
 		vm.SetRecordTruth(false)
 		res, err := vm.Run(tr)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, false, err
 		}
 		snap, cost := vm.Snapshot(m.spec.Name)
 		m.snap = snap
-		return res.Setup + cost, res.Exec, nil
+		return res.Setup + cost, res.Exec, false, nil
 	}
 	vm := microvm.RestoreLazy(m.cfg.Core.VM, m.layout, m.snap, conc)
 	vm.SetRecordTruth(false)
 	res, err := vm.Run(tr)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
-	return res.Setup, res.Exec, nil
+	return res.Setup, res.Exec, false, nil
 }
 
-func (m *dramMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, error) {
-	return residentExec(m.cfg, m.spec, m.layout, a, conc)
+func (m *dramMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, bool, error) {
+	exec, err := residentExec(m.cfg, m.spec, m.layout, a, conc)
+	return exec, false, err
 }
 
 func (m *dramMech) prewarm() (simtime.Duration, error) {

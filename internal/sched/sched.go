@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"toss/internal/core"
+	"toss/internal/fault"
 	"toss/internal/keepalive"
 	"toss/internal/obs"
 	"toss/internal/predict"
@@ -79,6 +80,10 @@ type Config struct {
 	Prewarm bool
 	// Predictor tunes the pre-warming predictor.
 	Predictor predict.Config
+	// Breaker tunes the per-function circuit breaker that guards the
+	// keep-alive cache under fault injection. Only consulted when
+	// Core.VM.Faults is set; zero fields take fault.DefaultBreakerConfig.
+	Breaker fault.BreakerConfig
 }
 
 // DefaultConfig mirrors the paper's host: 20 cores, no keep-alive.
@@ -172,6 +177,14 @@ type Report struct {
 	BusyCoreTime simtime.Duration
 	// Expirations counts idle-TTL keep-alive expiries.
 	Expirations int64
+	// Storms counts injected keep-alive eviction storms (full cache
+	// flushes); DegradedServes counts invocations served through a
+	// degradation policy after an injected fault; BreakerTrips counts
+	// closed→open circuit-breaker transitions. All zero without a fault
+	// plan (see FAULTS.md).
+	Storms         int64
+	DegradedServes int64
+	BreakerTrips   int64
 }
 
 // ColdFraction returns the fraction of invocations that cold-started.
@@ -290,6 +303,10 @@ type Sim struct {
 
 	// recorder, when set, has its virtual clock driven by the event loop.
 	recorder *obs.Recorder
+
+	// breaker circuit-breaks keep-alive admission per function under fault
+	// injection (nil without a fault plan; nil is always-closed).
+	breaker *fault.Breaker
 }
 
 // SetTracer attaches a tracer recording one root span per dispatched
@@ -337,6 +354,9 @@ func New(cfg Config, functions []string) (*Sim, error) {
 	if cfg.Prewarm {
 		s.pred = predict.New(cfg.Predictor)
 	}
+	if cfg.Core.VM.Faults != nil {
+		s.breaker = fault.NewBreaker(cfg.Breaker)
+	}
 	return s, nil
 }
 
@@ -377,6 +397,12 @@ func (s *Sim) Run(arrivals []trace.Arrival) (*Report, error) {
 			s.report.PrewarmsWasted++
 		}
 	}
+	if s.breaker != nil {
+		s.report.BreakerTrips = s.breaker.Trips()
+		if met := s.met(); met != nil && s.report.BreakerTrips > 0 {
+			met.Counter(telemetry.MetricBreakerTrips).Add(s.report.BreakerTrips)
+		}
+	}
 	return &s.report, nil
 }
 
@@ -388,6 +414,23 @@ func (s *Sim) push(e *event) {
 
 // onArrival queues or dispatches an invocation.
 func (s *Sim) onArrival(a trace.Arrival) error {
+	// An injected eviction storm (fault.SiteEvictStorm) flushes the whole
+	// keep-alive cache — a host OOM kill or capacity reclaim — so this and
+	// every following arrival cold-starts until the cache refills.
+	if inj := s.cfg.Core.VM.Faults; inj != nil && s.cache != nil {
+		if _, fired := inj.At(fault.SiteEvictStorm, a.Function, s.now); fired {
+			for _, fn := range s.cache.Flush() {
+				if s.prewarmed[fn] {
+					delete(s.prewarmed, fn)
+					s.report.PrewarmsWasted++
+				}
+			}
+			s.report.Storms++
+			if met := s.met(); met != nil {
+				met.Counter(telemetry.MetricEvictStorms).Add(1)
+			}
+		}
+	}
 	if s.pred != nil {
 		s.observeAndSchedulePrewarm(a)
 	}
@@ -421,6 +464,7 @@ func (s *Sim) dispatch(a trace.Arrival, arrivedAt simtime.Duration) error {
 
 	kind := ColdStart
 	var setup, exec simtime.Duration
+	var faulted bool
 	if s.cache != nil {
 		s.expireIfIdle(a.Function)
 		if _, hit := s.cache.Take(a.Function); hit {
@@ -429,21 +473,25 @@ func (s *Sim) dispatch(a trace.Arrival, arrivedAt simtime.Duration) error {
 				kind = PrewarmedStart
 				delete(s.prewarmed, a.Function)
 			}
-			e, err := mech.invokeWarm(a, conc)
+			e, f, err := mech.invokeWarm(a, conc)
 			if err != nil {
 				return err
 			}
-			setup, exec = s.cfg.ResumeCost, e
+			setup, exec, faulted = s.cfg.ResumeCost, e, f
 		}
 	}
 	if kind == ColdStart {
-		st, e, err := mech.invokeCold(a, conc)
+		st, e, f, err := mech.invokeCold(a, conc)
 		if err != nil {
 			return err
 		}
-		setup, exec = st, e
+		setup, exec, faulted = st, e, f
 		s.lastColdSetup[a.Function] = st
 	}
+	if faulted {
+		s.report.DegradedServes++
+	}
+	s.breaker.Record(a.Function, faulted)
 
 	finish := s.now + setup + exec
 	s.report.BusyCoreTime += setup + exec
@@ -484,8 +532,11 @@ func (s *Sim) dispatch(a trace.Arrival, arrivedAt simtime.Duration) error {
 		met.Gauge(telemetry.MetricQueueDepth).Set(int64(len(s.waiting)))
 	}
 
-	// Keep the finished VM alive on both tiers until evicted (§VI-A).
-	if s.cache != nil {
+	// Keep the finished VM alive on both tiers until evicted (§VI-A) —
+	// unless the function's circuit breaker is open: a function whose
+	// restore path keeps faulting does not get its (possibly poisoned)
+	// warm VM cached until a half-open trial succeeds.
+	if s.cache != nil && s.breaker.Allow(a.Function) {
 		fast, slow := mech.footprint()
 		cold := s.lastColdSetup[a.Function]
 		if cold == 0 {

@@ -1,0 +1,107 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"toss/internal/guest"
+	"toss/internal/mem"
+)
+
+func TestChecksumStableAndSensitive(t *testing.T) {
+	s := buildTestSingle()
+	placement := mem.NewPlacement([]guest.Region{{Start: 5, Pages: 20}})
+	a := BuildTiered(s, placement)
+	b := BuildTiered(s, placement)
+	if a.Sum == 0 {
+		t.Fatal("BuildTiered left Sum zero")
+	}
+	if a.Sum != b.Sum {
+		t.Fatalf("same content, different sums: %#x vs %#x", a.Sum, b.Sum)
+	}
+	if a.Checksum() != a.Sum {
+		t.Fatal("Checksum() disagrees with BuildTiered's Sum")
+	}
+	// Any content change moves the sum.
+	c := BuildTiered(s, mem.AllFast())
+	if c.Sum == a.Sum {
+		t.Fatal("different placement, same sum")
+	}
+}
+
+func TestVerifyDetectsTamper(t *testing.T) {
+	s := buildTestSingle()
+	tiered := BuildTiered(s, mem.NewPlacement([]guest.Region{{Start: 5, Pages: 20}}))
+	if err := tiered.Verify(tiered.Sum); err != nil {
+		t.Fatalf("clean snapshot failed verify: %v", err)
+	}
+	for p := range tiered.SlowMem.Pages {
+		tiered.SlowMem.Pages[p]++
+		break
+	}
+	err := tiered.Verify(tiered.Sum)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered page passed verify: %v", err)
+	}
+}
+
+func TestReadTieredRejectsTamperedTierFile(t *testing.T) {
+	dir := t.TempDir()
+	s := buildTestSingle()
+	tiered := BuildTiered(s, mem.NewPlacement([]guest.Region{{Start: 5, Pages: 20}}))
+	if err := WriteTiered(dir, tiered); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the fast tier image's page payload (past the
+	// header/function/vmstate prefix) and expect ErrCorrupt.
+	p := PathsIn(dir)
+	data, err := os.ReadFile(p.Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(p.Fast, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTiered(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered tier file accepted: %v", err)
+	}
+}
+
+func TestReadTieredRejectsTruncatedTrailer(t *testing.T) {
+	dir := t.TempDir()
+	s := buildTestSingle()
+	tiered := BuildTiered(s, mem.NewPlacement([]guest.Region{{Start: 5, Pages: 20}}))
+	if err := WriteTiered(dir, tiered); err != nil {
+		t.Fatal(err)
+	}
+	layout := filepath.Join(dir, "layout.toss")
+	data, err := os.ReadFile(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(layout, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTiered(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated trailer accepted: %v", err)
+	}
+}
+
+func TestReadTieredPreservesSum(t *testing.T) {
+	dir := t.TempDir()
+	s := buildTestSingle()
+	want := BuildTiered(s, mem.NewPlacement([]guest.Region{{Start: 5, Pages: 20}}))
+	if err := WriteTiered(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTiered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sum != want.Sum {
+		t.Fatalf("Sum %#x round-tripped to %#x", want.Sum, got.Sum)
+	}
+}

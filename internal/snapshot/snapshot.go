@@ -193,6 +193,58 @@ type Tiered struct {
 	Entries    []LayoutEntry
 	FastMem    *Memory
 	SlowMem    *Memory
+
+	// Sum is the integrity checksum over the layout and both tier images,
+	// computed by BuildTiered and persisted as a trailer on the layout
+	// file. ReadTiered recomputes and compares it, so bit rot in any of
+	// the three files surfaces as ErrCorrupt instead of a silently wrong
+	// restore.
+	Sum uint64
+}
+
+// Checksum computes the snapshot's content checksum: an fnv-64a over the
+// function name, guest size, every layout entry, and every page digest of
+// both tier images in region order. Region order makes it deterministic
+// for a given content regardless of map iteration.
+func (t *Tiered) Checksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	_, _ = io.WriteString(h, t.Function)
+	w(uint64(t.GuestPages))
+	w(uint64(len(t.Entries)))
+	for _, e := range t.Entries {
+		w(uint64(e.Tier))
+		w(uint64(e.FileOffsetPages))
+		w(uint64(e.GuestStart))
+		w(uint64(e.Pages))
+	}
+	for _, img := range []*Memory{t.FastMem, t.SlowMem} {
+		if img == nil {
+			w(0)
+			continue
+		}
+		w(uint64(len(img.Pages)))
+		for _, r := range img.ResidentRegions() {
+			for p := r.Start; p < r.End(); p++ {
+				w(uint64(p))
+				w(uint64(img.Pages[p]))
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// Verify recomputes the checksum and compares it against want, returning a
+// wrapped ErrCorrupt on mismatch.
+func (t *Tiered) Verify(want uint64) error {
+	if got := t.Checksum(); got != want {
+		return fmt.Errorf("%w: tiered checksum mismatch: got %#x want %#x", ErrCorrupt, got, want)
+	}
+	return nil
 }
 
 // BuildTiered partitions a single-tier snapshot between the two tiers
@@ -241,6 +293,7 @@ func BuildTiered(s *Single, placement *mem.Placement) *Tiered {
 		}
 	}
 	flush()
+	t.Sum = t.Checksum()
 	return t
 }
 
@@ -294,7 +347,8 @@ func WriteTiered(dir string, t *Tiered) error {
 				return err
 			}
 		}
-		return nil
+		// Trailing content checksum over layout + both tier images.
+		return binary.Write(w, binary.LittleEndian, t.Checksum())
 	}); err != nil {
 		return err
 	}
@@ -369,6 +423,10 @@ func ReadTiered(dir string) (*Tiered, error) {
 			Pages:           rec[3],
 		})
 	}
+	if err := binary.Read(r, binary.LittleEndian, &t.Sum); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: checksum trailer: %v", ErrCorrupt, err)
+	}
 	f.Close()
 
 	loadMem := func(path string) (*Memory, error) {
@@ -382,6 +440,9 @@ func ReadTiered(dir string) (*Tiered, error) {
 		return nil, err
 	}
 	if t.SlowMem, err = loadMem(p.Slow); err != nil {
+		return nil, err
+	}
+	if err := t.Verify(t.Sum); err != nil {
 		return nil, err
 	}
 	return t, nil

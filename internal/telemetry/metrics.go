@@ -587,6 +587,14 @@ const (
 	MetricPrewarmHits  = "sched.prewarmed_starts"
 	MetricBusyCoreTime = "sched.busy_core_ns"
 	MetricFreeCores    = "sched.free_cores"
+	// fault injection & recovery
+	MetricFaultInjected   = "fault.injected"
+	MetricFaultStallTime  = "fault.stall_ns"
+	MetricFaultRetries    = "platform.fault_retries"
+	MetricDegraded        = "platform.degraded"
+	MetricRecoveryLatency = "platform.recovery_ns"
+	MetricBreakerTrips    = "sched.breaker_trips"
+	MetricEvictStorms     = "sched.evict_storms"
 )
 
 // TierUtilization derives per-tier memory-time shares of total execution

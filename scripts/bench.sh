@@ -39,6 +39,13 @@ if ! cmp -s "$tmp/serial.txt" "$tmp/parallel.txt"; then
 fi
 echo "serial ${serial}s, parallel(${workers}) ${par}s, outputs byte-identical" >&2
 
+# The fault-tolerance sweep alone, as the fault machinery's end-to-end cost.
+ext8_start=$(date +%s.%N)
+"$tmp/tossctl" -parallel 1 ext8 > /dev/null
+ext8_end=$(date +%s.%N)
+ext8=$(echo "$ext8_end $ext8_start" | awk '{printf "%.2f", $1 - $2}')
+echo "ext8 ${ext8}s" >&2
+
 go run ./scripts/benchjson -serial "$serial" -parallel "$par" -workers "$workers" \
-    < "$tmp/bench.txt" > "$out"
+    -ext8 "$ext8" < "$tmp/bench.txt" > "$out"
 echo "wrote $out" >&2

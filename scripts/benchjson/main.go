@@ -39,6 +39,9 @@ type Suite struct {
 	ParallelSeconds float64 `json:"parallel_seconds"`
 	Workers         int     `json:"workers"`
 	Speedup         float64 `json:"speedup"`
+	// Ext8Seconds is the wall-clock of the ext8 fault-tolerance sweep on
+	// its own — the fault machinery's end-to-end cost benchmark.
+	Ext8Seconds float64 `json:"ext8_seconds,omitempty"`
 }
 
 // Report is the document written to stdout.
@@ -51,6 +54,7 @@ func main() {
 	serial := flag.Float64("serial", 0, "wall-clock seconds of `tossctl all -parallel 1` (0 omits the suite block)")
 	parallel := flag.Float64("parallel", 0, "wall-clock seconds of `tossctl all -parallel N`")
 	workers := flag.Int("workers", 0, "worker count N used for the parallel run")
+	ext8 := flag.Float64("ext8", 0, "wall-clock seconds of the ext8 fault sweep alone (0 omits)")
 	flag.Parse()
 
 	report := Report{Benchmarks: []Benchmark{}}
@@ -60,6 +64,7 @@ func main() {
 			ParallelSeconds: *parallel,
 			Workers:         *workers,
 			Speedup:         *serial / *parallel,
+			Ext8Seconds:     *ext8,
 		}
 	}
 
