@@ -53,6 +53,7 @@ import (
 	"toss/internal/simtime"
 	"toss/internal/telemetry"
 	"toss/internal/workload"
+	"toss/internal/xray"
 )
 
 func main() {
@@ -72,6 +73,10 @@ func main() {
 	recordInterval := flag.Duration("record-interval", 100*time.Millisecond, "flight-recorder sampling cadence in virtual time")
 	faultRate := flag.Float64("fault-rate", 0, "uniform per-site fault rate in [0, 1] (0 disables; forces -workers 1)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-plan seed (with -fault-rate)")
+	explain := flag.Bool("explain", false, "print per-function latency attribution waterfalls after the replay")
+	explainTop := flag.Int("explain-top", 0, "print full attribution waterfalls for the N slowest invocations")
+	slo := flag.Duration("slo", 0, "latency objective; reports SLO burn (violations, burn rate, peak windowed burn) after the replay")
+	sloWindow := flag.Duration("slo-window", 10*time.Second, "virtual-time window for the peak burn rate (with -slo)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the replay")
 	flag.Parse()
@@ -113,13 +118,16 @@ func main() {
 			workersSetExplicitly = true
 		}
 	})
+	// All flag-interaction diagnostics share one format that names the
+	// conflicting flag pair (see the README's flag interaction table).
 	warned := false
-	forceSingleWorker := func(reason string) {
+	forceSingleWorker := func(flagName, why string) {
 		if *workers == 1 {
 			return
 		}
 		if !warned {
-			fmt.Fprintf(os.Stderr, "faasim: %s forces -workers 1 for deterministic output\n", reason)
+			fmt.Fprintf(os.Stderr, "faasim: %s conflicts with -workers %d (%s); forcing -workers 1\n",
+				flagName, *workers, why)
 			warned = true
 		}
 		*workers = 1
@@ -134,16 +142,29 @@ func main() {
 			os.Exit(2)
 		}
 		tracer = telemetry.NewTracer()
-		forceSingleWorker("tracing")
+		if *traceOut != "" {
+			forceSingleWorker("-trace", "span order is only deterministic serially")
+		} else {
+			forceSingleWorker("-flame", "span order is only deterministic serially")
+		}
 	}
 
 	recording := *httpAddr != "" || *promOut != "" || *csvOut != "" || *heatmap
 	if *httpAddr != "" && workersSetExplicitly && *workers > 1 {
-		fmt.Fprintf(os.Stderr, "faasim: -http requires -workers 1 (the dashboard serves a deterministic timeline); drop -workers or pass -workers 1\n")
+		fmt.Fprintf(os.Stderr, "faasim: -http conflicts with -workers %d (the dashboard serves a deterministic timeline); drop -workers or pass -workers 1\n", *workers)
 		os.Exit(2)
 	}
 	if recording {
-		forceSingleWorker("the flight recorder")
+		switch {
+		case *httpAddr != "":
+			forceSingleWorker("-http", "the flight recorder samples a serial timeline")
+		case *promOut != "":
+			forceSingleWorker("-prom", "the flight recorder samples a serial timeline")
+		case *csvOut != "":
+			forceSingleWorker("-csv", "the flight recorder samples a serial timeline")
+		default:
+			forceSingleWorker("-heatmap", "the flight recorder samples a serial timeline")
+		}
 	}
 
 	cfg := core.DefaultConfig()
@@ -161,7 +182,14 @@ func main() {
 		cfg.VM.Faults = inj
 		// The injector's per-(site,function) sequence counters are shared
 		// state: concurrent invocations would race the firing order.
-		forceSingleWorker("fault injection")
+		forceSingleWorker("-fault-rate", "the injector's firing sequence is shared state")
+	}
+	var xcol *xray.Collector
+	if *explain || *explainTop > 0 || recording {
+		// Attribution is parallel-safe: no worker forcing here. The recorder
+		// gets a collector too so the dashboard can serve the budget panel.
+		xcol = xray.NewCollector()
+		cfg.VM.XRay = xcol
 	}
 	p, err := platform.New(cfg)
 	if err != nil {
@@ -176,6 +204,7 @@ func main() {
 			Interval: simtime.Duration(recordInterval.Nanoseconds()),
 			Metrics:  cfg.VM.Metrics,
 		})
+		rec.SetXRay(xcol)  // the dashboard's /xray panel and /xray.json
 		p.SetRecorder(rec) // before Register: TOSS hooks wire at registration
 	}
 
@@ -262,6 +291,52 @@ func main() {
 		for _, site := range fault.Sites() {
 			if n := counts[site]; n > 0 {
 				fmt.Printf("  %-16s %6d\n", site, n)
+			}
+		}
+	}
+
+	if *slo > 0 {
+		// Burn tracking runs on the platform's accumulated virtual timeline:
+		// each record completes at the running sum of invocation times, in
+		// replay record order (deterministic for a given seed and workers).
+		burn := xray.NewBurnTracker(
+			simtime.FromStd(*slo), simtime.FromStd(*sloWindow))
+		var at simtime.Duration
+		for _, r := range records {
+			if r.Err != nil {
+				continue
+			}
+			at += r.Total()
+			burn.Record(at, r.Total())
+		}
+		fmt.Printf("\n%s", burn.Summary())
+	}
+
+	if *explain || *explainTop > 0 {
+		budgets := make([]*xray.Budget, 0, len(records))
+		for _, r := range records {
+			if r.XRay != nil {
+				budgets = append(budgets, r.XRay)
+			}
+		}
+		if *explain {
+			rep := xray.Aggregate("replay", budgets)
+			fmt.Printf("\nattribution (%d budgets, mean per record):\n", rep.Records)
+			for i := range rep.Functions {
+				fmt.Print(xray.ReportWaterfall(&rep.Functions[i], 32))
+			}
+		}
+		if *explainTop > 0 {
+			slowest := append([]*xray.Budget(nil), budgets...)
+			sort.SliceStable(slowest, func(i, j int) bool {
+				return slowest[i].Recorded() > slowest[j].Recorded()
+			})
+			if len(slowest) > *explainTop {
+				slowest = slowest[:*explainTop]
+			}
+			fmt.Printf("\nslowest %d invocations:\n", len(slowest))
+			for _, b := range slowest {
+				fmt.Print(xray.Waterfall(b, 32))
 			}
 		}
 	}

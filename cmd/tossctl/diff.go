@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"toss/internal/simtime"
+	"toss/internal/xray"
+)
+
+// runDiff implements `tossctl diff [-threshold F] [-fail] old.json new.json`:
+// run-to-run regression diffing over either of the two run artifacts —
+// attribution dumps written by `tossctl -xray` (which segment regressed, per
+// experiment and function) or benchmark reports written by scripts/benchjson
+// (which benchmark's ns/op regressed). The format is auto-detected. Two
+// same-seed attribution dumps are byte-identical, so the diff reports zero
+// regressions — the determinism check CI leans on.
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.25, "relative change below which a difference is noise (0.25 = 25%)")
+	fail := fs.Bool("fail", false, "exit 1 when regressions are found (default: warn only)")
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, "usage: tossctl diff [-threshold F] [-fail] old.json new.json\n\n"+
+			"Compares two attribution dumps (tossctl -xray) or two benchmark\n"+
+			"reports (scripts/benchjson) and reports which cells regressed.\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldDoc, err := loadRunDoc(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tossctl: diff:", err)
+		return 1
+	}
+	newDoc, err := loadRunDoc(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tossctl: diff:", err)
+		return 1
+	}
+	res, err := xray.Diff(oldDoc, newDoc, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tossctl: diff:", err)
+		return 1
+	}
+	fmt.Print(res.Format(*threshold))
+	if *fail && len(res.Regressions) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// docProbe sniffs which artifact a JSON file is: attribution dumps carry
+// "experiments", benchjson reports carry "benchmarks".
+type docProbe struct {
+	Experiments []json.RawMessage `json:"experiments"`
+	Benchmarks  []json.RawMessage `json:"benchmarks"`
+}
+
+// benchDoc mirrors the fields of scripts/benchjson's report that diffing
+// consumes.
+type benchDoc struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		Package string  `json:"package"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// loadRunDoc reads either artifact into the common diffable document.
+// Benchmark reports become one (package, benchmark, "ns/op") cell each, so
+// the same cell-wise diff covers both.
+func loadRunDoc(path string) (xray.RunDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return xray.RunDoc{}, err
+	}
+	var probe docProbe
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return xray.RunDoc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if probe.Experiments == nil && probe.Benchmarks != nil {
+		var bd benchDoc
+		if err := json.Unmarshal(data, &bd); err != nil {
+			return xray.RunDoc{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return benchToRunDoc(bd), nil
+	}
+	doc, err := xray.ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		return xray.RunDoc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// benchToRunDoc maps a benchmark report onto the attribution document shape:
+// one report per package, one function per benchmark, one "ns/op" segment.
+// The schema is pinned so reports written before benchjson stamped versions
+// still compare against current ones.
+func benchToRunDoc(bd benchDoc) xray.RunDoc {
+	doc := xray.RunDoc{Schema: xray.SchemaVersion}
+	byPkg := map[string]*xray.Report{}
+	for _, b := range bd.Benchmarks {
+		pkg := b.Package
+		if pkg == "" {
+			pkg = "bench"
+		}
+		rep := byPkg[pkg]
+		if rep == nil {
+			rep = &xray.Report{Experiment: pkg}
+			byPkg[pkg] = rep
+			doc.Reports = append(doc.Reports, rep)
+		}
+		ns := simtime.Duration(math.Round(b.NsPerOp))
+		rep.Records++
+		rep.Total += ns
+		rep.Functions = append(rep.Functions, xray.FunctionReport{
+			Label:    b.Name,
+			Records:  1,
+			Total:    ns,
+			Segments: []xray.SegmentStat{{ID: "ns/op", Total: ns, Count: 1}},
+		})
+	}
+	return doc
+}

@@ -15,6 +15,13 @@
 // arrival order). -cpuprofile/-memprofile write pprof profiles of the run.
 // -faults <plan.json> injects a fault plan (FAULTS.md) into every
 // experiment and likewise forces serial execution.
+//
+// -xray <out.json> additionally collects every invocation's attribution
+// budget (internal/xray), prints each experiment's hottest segments, and
+// writes the aggregated per-experiment dump — the input to `tossctl diff`,
+// which compares two dumps (or two scripts/benchjson reports) and names the
+// segment that regressed. Attribution is parallel-safe: the dump is
+// byte-identical for any -parallel value.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"toss/internal/experiments"
 	"toss/internal/fault"
 	"toss/internal/telemetry"
+	"toss/internal/xray"
 )
 
 func main() {
@@ -35,6 +43,9 @@ func main() {
 }
 
 func run() int {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		return runDiff(os.Args[2:])
+	}
 	iters := flag.Int("iters", 5, "measurement repetitions per data point (paper uses 10)")
 	window := flag.Int("window", 12, "profiling convergence window (paper uses 100)")
 	seed := flag.Int64("seed", 1, "base seed for all deterministic randomness")
@@ -45,6 +56,7 @@ func run() int {
 	metrics := flag.Bool("metrics", false, "collect telemetry metrics and dump them after the run (forces -parallel 1)")
 	faults := flag.String("faults", "", "JSON fault plan injected into every experiment (see FAULTS.md; forces -parallel 1)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker pool size (1 = serial; output is identical either way)")
+	xrayOut := flag.String("xray", "", "write per-experiment attribution budgets (JSON) to this `file`; compare runs with tossctl diff")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = func() {
@@ -163,6 +175,14 @@ func run() int {
 		}
 	}
 
+	if *xrayOut != "" {
+		if met != nil {
+			fmt.Fprintln(os.Stderr, "tossctl: -xray and -metrics are mutually exclusive (both re-shape the per-experiment run loop)")
+			return 2
+		}
+		return runXRay(suite, ids, *xrayOut, *timing, render)
+	}
+
 	if met != nil {
 		// Per-experiment metrics: run one id at a time, dump, then reset in
 		// place so cached instrument handles inside the suite stay live.
@@ -200,6 +220,60 @@ func run() int {
 		fmt.Printf("[%d experiments took %v over %d workers]\n",
 			len(timed), time.Since(start).Round(time.Millisecond), suite.Pool().Workers())
 	}
+	return 0
+}
+
+// runXRay runs the experiments one id at a time with an attribution
+// collector attached (inner per-experiment parallelism is preserved — the
+// collector is parallel-safe and aggregation is order-independent), prints
+// each experiment's hottest segments after its table, and writes the
+// aggregated dump to path.
+func runXRay(suite *experiments.Suite, ids []string, path string, timing bool, render func(*experiments.Table) (string, error)) int {
+	col := xray.NewCollector()
+	suite.Core.VM.XRay = col
+	doc := xray.RunDoc{Schema: xray.SchemaVersion}
+	start := time.Now()
+	for _, id := range ids {
+		timed, err := suite.RunTimed([]string{id})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tossctl: %v\n", err)
+			return 1
+		}
+		r := timed[0]
+		out, err := render(r.Table)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tossctl: %s: render: %v\n", r.ID, err)
+			return 1
+		}
+		fmt.Println(out)
+		rep := xray.Aggregate(id, col.Drain())
+		doc.Reports = append(doc.Reports, rep)
+		if hot := rep.TopSegments(5); len(hot) > 0 {
+			fmt.Printf("xray %s: %d budgets, hottest segments:\n", id, rep.Records)
+			for _, h := range hot {
+				fmt.Printf("  %-28s %-22s %12v %5.1f%%\n", h.Label, h.Segment, h.Total, h.Share*100)
+			}
+			fmt.Println()
+		}
+		if timing {
+			fmt.Printf("[%s took %v]\n\n", r.ID, r.Elapsed.Round(time.Millisecond))
+		}
+	}
+	if timing {
+		fmt.Printf("[%d experiments took %v over %d workers]\n",
+			len(ids), time.Since(start).Round(time.Millisecond), suite.Pool().Workers())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tossctl:", err)
+		return 1
+	}
+	defer f.Close()
+	if err := xray.WriteJSON(f, doc); err != nil {
+		fmt.Fprintln(os.Stderr, "tossctl:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "tossctl: wrote attribution dump for %d experiments to %s\n", len(doc.Reports), path)
 	return 0
 }
 

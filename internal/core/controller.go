@@ -11,6 +11,7 @@ import (
 	"toss/internal/snapshot"
 	"toss/internal/telemetry"
 	"toss/internal/workload"
+	"toss/internal/xray"
 )
 
 // Phase is the controller's lifecycle state for one function.
@@ -363,6 +364,7 @@ func (c *Controller) RecoverCorrupt(lv workload.Level, seed int64, concurrency i
 	}
 	single, snapCost := vm.SnapshotTraced(c.spec.Name, phaseSpan, res.Setup+res.Exec)
 	res.Setup += snapCost
+	res.Budget.Extend(xray.SegSnapshotWrite, snapCost)
 	c.pd.Single = single
 	if c.analysis != nil {
 		c.tiered = BuildSnapshot(c.pd, c.analysis)

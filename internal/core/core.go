@@ -40,6 +40,7 @@ import (
 	"toss/internal/telemetry"
 	"toss/internal/workload"
 	"toss/internal/wstrack"
+	"toss/internal/xray"
 )
 
 // Config collects the TOSS prototype's knobs, defaulting to the paper's
@@ -168,6 +169,7 @@ func NewProfileDataTraced(cfg Config, spec *workload.Spec, lv workload.Level, se
 	}
 	single, snapCost := vm.SnapshotTraced(spec.Name, span, res.Setup+res.Exec)
 	res.Setup += snapCost // charge capture to the first invocation
+	res.Budget.Extend(xray.SegSnapshotWrite, snapCost)
 	return &ProfileData{
 		Spec:    spec,
 		Layout:  layout,
@@ -224,7 +226,9 @@ func (pd *ProfileData) ProfileInvocationTraced(cfg Config, lv workload.Level, se
 		return microvm.Result{}, false, fmt.Errorf("core: profiling invocation: %w", err)
 	}
 	// DAMON's measured ~3% overhead applies while profiling is attached.
+	orig := res.Exec
 	res.Exec = res.Exec.Scale(cfg.Damon.OverheadFactor())
+	res.Budget.Extend(xray.SegProfilingDAMON, res.Exec-orig)
 
 	pd.damonSeq++
 	pattern := cfg.Damon.ProfileTraced(res.Truth, pd.Layout.TotalPages, seed^pd.damonSeq,

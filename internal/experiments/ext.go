@@ -266,6 +266,7 @@ func ExtBilling(s *Suite) (*Table, error) {
 			return specRes{}, err
 		}
 		vm := microvm.NewResident(s.Core.VM, layout, mem.AllFast(), 1)
+		vm.SetLabel(spec.Name)
 		vm.SetRecordTruth(false)
 		r, err := vm.Run(tr)
 		if err != nil {

@@ -45,6 +45,7 @@ func ExtMemoryIntensity(s *Suite) (*Table, error) {
 			return row{}, err
 		}
 		vm := microvm.NewResident(s.Core.VM, layout, mem.AllFast(), 1)
+		vm.SetLabel(spec.Name)
 		vm.SetRecordTruth(false)
 		res, err := vm.Run(tr)
 		if err != nil {

@@ -61,6 +61,7 @@ func Fig1WorkingSetCharacterization(s *Suite) (*Table, error) {
 			return nil, err
 		}
 		vm := microvm.NewBooted(s.Core.VM, layout)
+		vm.SetLabel(spec.Name)
 		res, err := vm.Run(tr)
 		if err != nil {
 			return nil, err

@@ -27,6 +27,7 @@ func (s *Suite) dramInvocation(spec *workload.Spec, execLv workload.Level, seed 
 		return 0, 0, err
 	}
 	vm := microvm.NewResident(s.Core.VM, layout, mem.AllFast(), conc)
+	vm.SetLabel(spec.Name)
 	vm.SetRecordTruth(false)
 	res, err := vm.Run(tr)
 	if err != nil {

@@ -201,6 +201,7 @@ func (s *Suite) execResident(spec *workload.Spec, lv workload.Level, seed int64,
 		return 0, err
 	}
 	vm := microvm.NewResident(s.Core.VM, layout, placement, conc)
+	vm.SetLabel(spec.Name)
 	vm.SetRecordTruth(false)
 	res, err := vm.Run(tr)
 	if err != nil {

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"toss/internal/xray"
+)
+
+// TestAttributionBudgetsBalance is the exactness invariant across the whole
+// experiment catalog: with an attribution collector attached, every budget a
+// machine observes must have its segments sum exactly to the recorded
+// end-to-end time — no nanosecond unattributed, none double-counted. The
+// decomposition (meter CPU/memory split, per-tier fault stalls, contention
+// wait, injected stalls, setup parts) is derived independently of the total,
+// so this is a real cross-check on every code path the catalog exercises.
+func TestAttributionBudgetsBalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment catalog")
+	}
+	s := NewSuite()
+	s.Iterations = 2
+	col := xray.NewCollector()
+	s.Core.VM.XRay = col
+	// Analytic experiments derive their tables from cached pipeline builds
+	// and static inventory without running a machine of their own.
+	analytic := map[string]bool{"table1": true, "table2": true, "ext7": true}
+	for _, id := range IDs() {
+		if _, err := s.Run(id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		budgets := col.Drain()
+		if len(budgets) == 0 {
+			if !analytic[id] {
+				t.Errorf("%s: no budgets observed", id)
+			}
+			continue
+		}
+		bad := 0
+		for _, b := range budgets {
+			if b.Label == "" {
+				t.Errorf("%s: unlabeled budget (machine missing SetLabel)", id)
+			}
+			if b.Sum() != b.Recorded() {
+				bad++
+				if bad <= 3 {
+					t.Errorf("%s %s: segments sum to %v but recorded total is %v (diff %v)",
+						id, b.Label, b.Sum(), b.Recorded(), b.Recorded()-b.Sum())
+				}
+			}
+		}
+		if bad > 3 {
+			t.Errorf("%s: %d further unbalanced budgets suppressed", id, bad-3)
+		}
+	}
+}
+
+// TestAttributionParallelAggregateIdentical pins the parallel-safety
+// invariant at the suite level: the serialized attribution dump for a subset
+// of experiments must be byte-identical between a serial and an 8-worker run,
+// even though the collector receives budgets in nondeterministic order.
+func TestAttributionParallelAggregateIdentical(t *testing.T) {
+	dump := func(workers int) []byte {
+		s := NewSuite()
+		s.Workers = workers
+		s.Iterations = 2
+		col := xray.NewCollector()
+		s.Core.VM.XRay = col
+		doc := xray.RunDoc{Schema: xray.SchemaVersion}
+		for _, id := range []string{"fig2", "fig6", "ext1"} {
+			if _, err := s.Run(id); err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, id, err)
+			}
+			doc.Reports = append(doc.Reports, xray.Aggregate(id, col.Drain()))
+		}
+		var buf bytes.Buffer
+		if err := xray.WriteJSON(&buf, doc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := dump(1)
+	parallel := dump(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("attribution dump differs between serial and 8-worker runs")
+	}
+}

@@ -159,6 +159,12 @@ type Meter struct {
 	CPUTime simtime.Duration
 	// MemTime is time attributed to memory service, per tier.
 	MemTime [2]simtime.Duration
+	// Contended is the part of MemTime caused by bandwidth contention with
+	// concurrent invocations: the exact difference between the charged
+	// service time and what the same touches would have cost at
+	// concurrency 1 (identical rounding, so the split is lossless). Always
+	// zero at concurrency 1. Injected stalls (ChargeStall) are excluded.
+	Contended [2]simtime.Duration
 	// LineTouches counts line touches routed to each tier.
 	LineTouches [2]int64
 }
@@ -172,6 +178,10 @@ func (m *Meter) Charge(c Config, e access.Event, t Tier, concurrency int) simtim
 	cpu := simtime.Duration(touches*(e.CPUPerLine+e.HitRatio*hit) + 0.5)
 	m.CPUTime += cpu
 	m.MemTime[t] += memsvc
+	if concurrency > 1 {
+		base := simtime.Duration(touches*(1-e.HitRatio)*c.LineCost(t, e.Pattern, e.Kind, 1) + 0.5)
+		m.Contended[t] += memsvc - base
+	}
 	m.LineTouches[t] += e.TouchesPerPage()
 	return cpu + memsvc
 }

@@ -29,6 +29,7 @@ import (
 	"toss/internal/simtime"
 	"toss/internal/snapshot"
 	"toss/internal/telemetry"
+	"toss/internal/xray"
 )
 
 // Config carries the platform cost constants alongside the memory and disk
@@ -80,6 +81,14 @@ type Config struct {
 	// comparison per site — the zero-fault platform is byte-identical to
 	// the pre-fault one. See FAULTS.md.
 	Faults *fault.Injector
+	// XRay, when non-nil, receives an exact per-invocation latency budget
+	// from every machine built with this config: setup decomposed into its
+	// restore phases, execution into CPU / per-tier memory service /
+	// contention wait / demand-fault stalls / injected stalls, sealed with
+	// the machine's own end-to-end clock so the segments provably sum to
+	// the recorded time. Nil (the default) disables attribution at the cost
+	// of one pointer comparison per run.
+	XRay *xray.Collector
 }
 
 // Observer receives machine lifecycle callbacks. Implementations must be
@@ -174,6 +183,10 @@ type Machine struct {
 	// label identifies the machine to observers, normally the function
 	// name. Restores inherit it from the snapshot's Function field.
 	label string
+	// prefetched counts pages made resident at setup time (REAP working-set
+	// prefetch, TOSS slow-tier DAX mappings) — demand faults avoided during
+	// execution by paying at restore, reported as a budget mark.
+	prefetched int64
 	// segbuf is the reusable scratch slice for per-event tier splits; a
 	// machine serves one invocation on one goroutine, so reuse is safe.
 	segbuf []mem.Segment
@@ -271,6 +284,7 @@ func RestoreREAP(cfg Config, layout guest.Layout, snap *snapshot.Single, ws []gu
 	for _, r := range ws {
 		m.resident.setRange(r)
 	}
+	m.prefetched = wsPages
 	return m
 }
 
@@ -297,6 +311,7 @@ func RestoreTiered(cfg Config, layout guest.Layout, ts *snapshot.Tiered, concurr
 		}
 	}
 	m.placement = mem.NewPlacement(slow)
+	m.prefetched = guest.TotalPages(slow)
 	m.setup = cfg.VMLoadBase + simtime.Duration(len(ts.Entries))*cfg.MmapCost
 	m.setupKind, m.setupName = telemetry.KindSnapshotRestore, "restore-tiered"
 	m.parts = []setupPart{
@@ -364,6 +379,10 @@ type Result struct {
 	// and, per tier, in the Meter).
 	InjectedFaults int64
 	InjectedStall  simtime.Duration
+	// Budget is the invocation's attribution budget (nil unless the config
+	// has an XRay collector). Its segments sum exactly to Setup+Exec; upper
+	// layers extend it when they lengthen the invocation.
+	Budget *xray.Budget
 }
 
 // Total returns setup plus execution — the paper's "invocation time".
@@ -401,6 +420,15 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 	}
 	inj := m.cfg.Faults
 	ob := m.cfg.Observer
+	// Attribution: faultTier accumulates demand-fault cost per serving tier
+	// excluding injected disk stalls; injDisk tracks those stalls so the
+	// injected share of slow-tier memory time can be recovered exactly.
+	var bud *xray.Budget
+	var faultTier [2]simtime.Duration
+	var injDisk simtime.Duration
+	if m.cfg.XRay != nil {
+		bud = xray.New(m.label)
+	}
 	if ob != nil {
 		kind := m.setupName
 		if kind == "" {
@@ -433,6 +461,7 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 			newStored, newZero := m.touch(seg.Region)
 			if newStored+newZero > 0 {
 				cost, major, minor := m.faultCost(e, seg.Tier, newStored, newZero)
+				baseCost := cost
 				if inj != nil && newStored > 0 && m.backing != BackingAnon {
 					// An injected SSD hiccup stalls this demand-read burst;
 					// the stall rides inside the burst's cost so spans,
@@ -461,6 +490,10 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 				res.FaultTime += cost
 				res.MajorFaults += major
 				res.MinorFaults += minor
+				if bud != nil {
+					faultTier[seg.Tier] += baseCost
+					injDisk += cost - baseCost
+				}
 			}
 			// Memory service.
 			clock.Advance(res.Meter.ChargePages(m.cfg.Mem, e, seg.Tier, m.concurrency, seg.Region.Pages))
@@ -500,7 +533,52 @@ func (m *Machine) RunTraced(tr *access.Trace, span *telemetry.Span) (Result, err
 			met.Counter(telemetry.MetricFaultStallTime).Add(res.InjectedStall.Nanoseconds())
 		}
 	}
+	if bud != nil {
+		// Setup: the parts sum exactly to m.setup in every constructor.
+		for _, p := range m.parts {
+			bud.Add(setupSegID(p.name), p.dur)
+		}
+		// Exec: Exec == FaultTime + Meter total, FaultTime splits into
+		// per-tier cost plus injected disk stalls, and slow-tier memory
+		// time into service / contention wait / injected stalls — so the
+		// decomposition below re-derives Exec exactly, in integer
+		// arithmetic, from independent accounting.
+		injSlow := res.InjectedStall - injDisk
+		bud.Add(xray.SegExecCPU, res.Meter.CPUTime)
+		bud.Add(xray.SegExecMemFast, res.Meter.MemTime[mem.Fast]-res.Meter.Contended[mem.Fast])
+		bud.Add(xray.SegExecMemSlow, res.Meter.MemTime[mem.Slow]-res.Meter.Contended[mem.Slow]-injSlow)
+		bud.Add(xray.SegExecContendFast, res.Meter.Contended[mem.Fast])
+		bud.Add(xray.SegExecContendSlow, res.Meter.Contended[mem.Slow])
+		bud.Add(xray.SegExecFaultFast, faultTier[mem.Fast])
+		bud.Add(xray.SegExecFaultSlow, faultTier[mem.Slow])
+		bud.Add(xray.SegFaultInjected, res.InjectedStall)
+		bud.Mark(xray.MarkMajorFaults, res.MajorFaults)
+		bud.Mark(xray.MarkMinorFaults, res.MinorFaults)
+		bud.Mark(xray.MarkInjected, res.InjectedFaults)
+		bud.Mark(xray.MarkPrefetchCredit, m.prefetched)
+		bud.Seal(res.Setup + res.Exec)
+		res.Budget = bud
+		m.cfg.XRay.Observe(bud)
+	}
 	return res, nil
+}
+
+// setupSegID maps a setup-part name to its attribution segment id.
+func setupSegID(name string) string {
+	switch name {
+	case "kernel+runtime":
+		return xray.SegBootKernel
+	case "vm-load":
+		return xray.SegRestoreVMLoad
+	case "mmap":
+		return xray.SegRestoreMmap
+	case "ws-prefetch":
+		return xray.SegRestorePrefetch
+	case "pte-populate":
+		return xray.SegRestorePTEPopulate
+	default:
+		return "restore." + name
+	}
 }
 
 // touch marks all pages of r resident and splits the newly-touched count

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+
+	"toss/internal/xray"
 )
 
 // Handler returns the live dashboard: an index at /, Prometheus text at
@@ -26,6 +28,8 @@ func (r *Recorder) Handler() http.Handler {
 <li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
 <li><a href="/timeseries.json">/timeseries.json</a> — sampled series, residency timelines, DAMON audits</li>
 <li><a href="/heatmap">/heatmap</a> — tier-residency heatmap</li>
+<li><a href="/xray">/xray</a> — per-function latency budgets (attribution waterfalls)</li>
+<li><a href="/xray.json">/xray.json</a> — aggregated attribution dump (tossctl diff input)</li>
 <li><a href="/healthz">/healthz</a> — liveness</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go runtime profiles</li>
 </ul></body></html>
@@ -46,6 +50,22 @@ func (r *Recorder) Handler() http.Handler {
 	mux.HandleFunc("/heatmap", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		if err := WriteHeatmapHTML(w, r.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/xray", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := WriteWaterfallHTML(w, r.XRayReport()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/xray.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		doc := xray.RunDoc{Schema: xray.SchemaVersion}
+		if rep := r.XRayReport(); rep != nil {
+			doc.Reports = append(doc.Reports, rep)
+		}
+		if err := xray.WriteJSON(w, doc); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -37,6 +37,7 @@ import (
 	"toss/internal/mem"
 	"toss/internal/simtime"
 	"toss/internal/telemetry"
+	"toss/internal/xray"
 )
 
 // Derived series the recorder registers in the telemetry registry, so
@@ -100,6 +101,9 @@ type Recorder struct {
 	series    map[string]*series
 	timelines map[string]*timeline
 	audits    []AuditResult
+	// xray, when non-nil, is the attribution collector behind the
+	// dashboard's latency-budget panel (SetXRay).
+	xray *xray.Collector
 }
 
 // New returns an enabled recorder. Use a nil *Recorder for the disabled one.

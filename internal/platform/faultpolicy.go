@@ -122,6 +122,7 @@ func (p *Platform) degradeSlow(fs *functionState, rec *Record, cause error, lv w
 			return microvm.Result{}, err
 		}
 		vm := microvm.RestoreLazy(p.cfg.VM, layout, fs.slowSingle, conc)
+		vm.SetLabel(fs.spec.Name)
 		vm.SetRecordTruth(false)
 		return vm.RunTraced(tr, span)
 	case errors.Is(cause, snapshot.ErrCorrupt):

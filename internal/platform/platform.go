@@ -26,6 +26,7 @@ import (
 	"toss/internal/snapshot"
 	"toss/internal/telemetry"
 	"toss/internal/workload"
+	"toss/internal/xray"
 )
 
 // Mode selects the snapshot mechanism serving a function.
@@ -253,6 +254,12 @@ type Record struct {
 	// errors: errors.Is sees fault.ErrTierUnavailable, snapshot.ErrCorrupt,
 	// or fault.ErrProfileStale, and errors.As extracts *fault.SiteError.
 	Err error
+	// XRay is the invocation's attribution budget (nil unless the config
+	// has an XRay collector, or when the invocation failed). Its segments
+	// sum exactly to Total(): the machine's budget extended with the
+	// platform-level time this record adds (retry backoff, first-invocation
+	// snapshot capture).
+	XRay *xray.Budget
 }
 
 // Total returns setup + execution.
@@ -306,8 +313,11 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 			return p.finish(fs, rec, span)
 		}
 		rec.Phase = phase
+		backoff := rec.Setup // retry backoff accumulated before the machine ran
 		rec.Setup += res.Setup
 		rec.Exec, rec.Faults, rec.Meter = res.Exec, res.MajorFaults, res.Meter
+		rec.XRay = res.Budget
+		rec.XRay.Extend(xray.SegRetryBackoff, backoff)
 		fs.stats.Phase = fs.toss.Phase()
 		if a := fs.toss.Analysis(); a != nil {
 			fs.stats.NormCost = a.MinCost()
@@ -327,6 +337,7 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 			rec.FaultSite = string(fault.SitePrefetch)
 		}
 		rec.Setup, rec.Exec, rec.Faults, rec.Meter = res.Setup, res.Exec, res.MajorFaults, res.Meter
+		rec.XRay = res.Budget
 	case ModeFaaSnap:
 		res, err := fs.faasnap.InvokeTraced(lv, seed, conc, span)
 		if err != nil {
@@ -338,6 +349,7 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 			rec.FaultSite = string(fault.SitePrefetch)
 		}
 		rec.Setup, rec.Exec, rec.Faults, rec.Meter = res.Setup, res.Exec, res.MajorFaults, res.Meter
+		rec.XRay = res.Budget
 	case ModeDRAM:
 		res, err := p.retry(&rec, func() (microvm.Result, error) {
 			return p.invokeDRAM(fs, lv, seed, conc, span)
@@ -352,8 +364,11 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 			rec.Err = p.wrapFault(err)
 			return p.finish(fs, rec, span)
 		}
+		backoff := rec.Setup
 		rec.Setup += res.Setup
 		rec.Exec, rec.Faults, rec.Meter = res.Exec, res.MajorFaults, res.Meter
+		rec.XRay = res.Budget
+		rec.XRay.Extend(xray.SegRetryBackoff, backoff)
 	case ModeSlow:
 		res, err := p.retry(&rec, func() (microvm.Result, error) {
 			return p.invokeSlow(fs, lv, seed, conc, span)
@@ -368,8 +383,11 @@ func (p *Platform) Invoke(name string, lv workload.Level, seed int64) Record {
 			rec.Err = p.wrapFault(err)
 			return p.finish(fs, rec, span)
 		}
+		backoff := rec.Setup
 		rec.Setup += res.Setup
 		rec.Exec, rec.Faults, rec.Meter = res.Exec, res.MajorFaults, res.Meter
+		rec.XRay = res.Budget
+		rec.XRay.Extend(xray.SegRetryBackoff, backoff)
 	}
 
 	fs.stats.Invocations++
@@ -397,6 +415,18 @@ func (p *Platform) wrapFault(err error) error {
 // duration so samples land on the platform's accumulated timeline.
 func (p *Platform) finish(fs *functionState, rec Record, span *telemetry.Span) Record {
 	span.EndAt(rec.Total())
+	if rec.XRay != nil {
+		rec.XRay.Mark(xray.MarkRetries, int64(rec.Retries))
+		if rec.Degraded != "" {
+			rec.XRay.Mark("degraded."+rec.Degraded, 1)
+		}
+		if rec.FaultSite != "" {
+			rec.XRay.Mark("fault.site."+rec.FaultSite, 1)
+		}
+		if rec.Mode == ModeTOSS {
+			rec.XRay.Mark("phase."+rec.Phase.String(), 1)
+		}
+	}
 	if met := p.cfg.VM.Metrics; met != nil {
 		met.Counter(telemetry.MetricInvocations).Add(1)
 		if rec.Retries > 0 {
@@ -442,6 +472,7 @@ func (p *Platform) invokeDRAM(fs *functionState, lv workload.Level, seed int64, 
 		snap, cost := vm.SnapshotTraced(fs.spec.Name, span, res.Setup+res.Exec)
 		fs.dramSnap = snap
 		res.Setup += cost
+		res.Budget.Extend(xray.SegSnapshotWrite, cost)
 		return res, nil
 	}
 	// Restore-time corruption fault (FAULTS.md): the lazy-restore snapshot
@@ -477,6 +508,7 @@ func (p *Platform) invokeSlow(fs *functionState, lv workload.Level, seed int64, 
 		fs.slowSingle = single
 		fs.slowSnap = snapshot.BuildTiered(single, mem.AllSlow(layout.TotalPages))
 		res.Setup += cost
+		res.Budget.Extend(xray.SegSnapshotWrite, cost)
 		return res, nil
 	}
 	// Restore-time faults (FAULTS.md): the slow tier can be unreachable,

@@ -252,6 +252,7 @@ func (m *dramMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simt
 	}
 	if m.snap == nil {
 		vm := microvm.NewBooted(m.cfg.Core.VM, m.layout)
+		vm.SetLabel(m.spec.Name)
 		vm.SetRecordTruth(false)
 		res, err := vm.Run(tr)
 		if err != nil {
@@ -262,6 +263,7 @@ func (m *dramMech) invokeCold(a trace.Arrival, conc int) (simtime.Duration, simt
 		return res.Setup + cost, res.Exec, false, nil
 	}
 	vm := microvm.RestoreLazy(m.cfg.Core.VM, m.layout, m.snap, conc)
+	vm.SetLabel(m.spec.Name)
 	vm.SetRecordTruth(false)
 	res, err := vm.Run(tr)
 	if err != nil {
@@ -294,6 +296,7 @@ func residentExec(cfg Config, spec *workload.Spec, layout guest.Layout, a trace.
 		return 0, err
 	}
 	vm := microvm.NewResident(cfg.Core.VM, layout, mem.AllFast(), conc)
+	vm.SetLabel(spec.Name)
 	vm.SetRecordTruth(false)
 	res, err := vm.Run(tr)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"toss/internal/simtime"
 	"toss/internal/telemetry"
 	"toss/internal/trace"
+	"toss/internal/xray"
 )
 
 // Mechanism selects the snapshot system serving a function.
@@ -157,6 +158,12 @@ type Record struct {
 	Setup      simtime.Duration
 	Exec       simtime.Duration
 	Start      StartKind
+	// XRay is the invocation's scheduler-level attribution budget (nil
+	// unless the core config has an XRay collector): queue wait, setup as
+	// one opaque span (resume for warm starts), and execution — summing
+	// exactly to Latency(). Machine-level budgets carry the fine-grained
+	// restore/exec decomposition under their own labels.
+	XRay *xray.Budget
 }
 
 // Latency is the end-to-end response time.
@@ -495,14 +502,32 @@ func (s *Sim) dispatch(a trace.Arrival, arrivedAt simtime.Duration) error {
 
 	finish := s.now + setup + exec
 	s.report.BusyCoreTime += setup + exec
-	s.report.Records = append(s.report.Records, Record{
+	rec := Record{
 		Function:   a.Function,
 		Arrival:    arrivedAt,
 		QueueDelay: s.now - arrivedAt,
 		Setup:      setup,
 		Exec:       exec,
 		Start:      kind,
-	})
+	}
+	if xr := s.cfg.Core.VM.XRay; xr != nil {
+		// The "/sched" label suffix keeps scheduler-level budgets apart
+		// from the machine-level ones the mechanisms observe for the same
+		// function (same convention as core's "/binprof" labels).
+		bud := xray.New(a.Function + "/sched")
+		bud.Add(xray.SegQueueWait, rec.QueueDelay)
+		if kind == ColdStart {
+			bud.Add(xray.SegSchedSetup, setup)
+		} else {
+			bud.Add(xray.SegResume, setup)
+		}
+		bud.Add(xray.SegSchedExec, exec)
+		bud.Mark("start."+kind.String(), 1)
+		bud.Seal(rec.Latency())
+		rec.XRay = bud
+		xr.Observe(bud)
+	}
+	s.report.Records = append(s.report.Records, rec)
 	s.push(&event{at: finish, kind: evCompletion})
 
 	if span := s.tracer.Root(telemetry.KindInvocation, a.Function, arrivedAt,
@@ -536,20 +561,24 @@ func (s *Sim) dispatch(a trace.Arrival, arrivedAt simtime.Duration) error {
 	// unless the function's circuit breaker is open: a function whose
 	// restore path keeps faulting does not get its (possibly poisoned)
 	// warm VM cached until a half-open trial succeeds.
-	if s.cache != nil && s.breaker.Allow(a.Function) {
-		fast, slow := mech.footprint()
-		cold := s.lastColdSetup[a.Function]
-		if cold == 0 {
-			cold = setup
-		}
-		item := keepalive.ItemFor(a.Function, fast, slow, cold)
-		s.lastWarmAt[a.Function] = finish
-		evicted, _ := s.cache.Admit(item)
-		for _, fn := range evicted {
-			if s.prewarmed[fn] {
-				delete(s.prewarmed, fn)
-				s.report.PrewarmsWasted++
+	if s.cache != nil {
+		if s.breaker.Allow(a.Function) {
+			fast, slow := mech.footprint()
+			cold := s.lastColdSetup[a.Function]
+			if cold == 0 {
+				cold = setup
 			}
+			item := keepalive.ItemFor(a.Function, fast, slow, cold)
+			s.lastWarmAt[a.Function] = finish
+			evicted, _ := s.cache.Admit(item)
+			for _, fn := range evicted {
+				if s.prewarmed[fn] {
+					delete(s.prewarmed, fn)
+					s.report.PrewarmsWasted++
+				}
+			}
+		} else {
+			rec.XRay.Mark(xray.MarkBreakerVeto, 1)
 		}
 	}
 	return nil

@@ -1,0 +1,128 @@
+package xray
+
+import (
+	"fmt"
+
+	"toss/internal/simtime"
+)
+
+// BurnTracker tracks SLO burn in virtual time: each invocation reports its
+// completion time and end-to-end latency; a completion over the objective
+// burns error budget. The tracker keeps a sliding window so bursts of slow
+// invocations surface as a peak windowed burn rate even when the run-long
+// average looks healthy — the standard burn-rate alerting shape, computed on
+// the simulator's deterministic clock.
+type BurnTracker struct {
+	// Objective is the latency SLO: completions above it are violations.
+	Objective simtime.Duration
+	// Window is the sliding-window width for the windowed burn rate.
+	Window simtime.Duration
+
+	total      int64
+	violations int64
+
+	// points holds (completion time, violated) within the current window,
+	// pruned as time advances; Record must be fed in nondecreasing time
+	// order (the virtual clock only moves forward).
+	points []burnPoint
+	// head indexes the first live point (amortized pruning without
+	// reslicing allocations on every call).
+	head int
+
+	peakRate float64
+	peakAt   simtime.Duration
+}
+
+type burnPoint struct {
+	at       simtime.Duration
+	violated bool
+}
+
+// NewBurnTracker returns a tracker for the given latency objective and
+// window. A zero window disables the sliding-window rate (totals still
+// accumulate).
+func NewBurnTracker(objective, window simtime.Duration) *BurnTracker {
+	return &BurnTracker{Objective: objective, Window: window}
+}
+
+// Record feeds one completion at virtual time `at` with end-to-end latency
+// `latency`. Calls must be in nondecreasing `at` order.
+func (t *BurnTracker) Record(at, latency simtime.Duration) {
+	if t == nil {
+		return
+	}
+	violated := latency > t.Objective
+	t.total++
+	if violated {
+		t.violations++
+	}
+	if t.Window <= 0 {
+		return
+	}
+	t.points = append(t.points, burnPoint{at: at, violated: violated})
+	for t.head < len(t.points) && t.points[t.head].at < at-t.Window {
+		t.head++
+	}
+	// Compact once the dead prefix dominates.
+	if t.head > 1024 && t.head > len(t.points)/2 {
+		t.points = append(t.points[:0], t.points[t.head:]...)
+		t.head = 0
+	}
+	if rate := t.windowRate(); rate > t.peakRate {
+		t.peakRate, t.peakAt = rate, at
+	}
+}
+
+// windowRate is the violation fraction among live points.
+func (t *BurnTracker) windowRate() float64 {
+	live := t.points[t.head:]
+	if len(live) == 0 {
+		return 0
+	}
+	var v int
+	for _, p := range live {
+		if p.violated {
+			v++
+		}
+	}
+	return float64(v) / float64(len(live))
+}
+
+// Totals returns completions seen and objective violations.
+func (t *BurnTracker) Totals() (total, violations int64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.total, t.violations
+}
+
+// BurnRate returns the run-long violation fraction.
+func (t *BurnTracker) BurnRate() float64 {
+	if t == nil || t.total == 0 {
+		return 0
+	}
+	return float64(t.violations) / float64(t.total)
+}
+
+// Peak returns the worst windowed burn rate seen and the virtual time it
+// occurred at.
+func (t *BurnTracker) Peak() (rate float64, at simtime.Duration) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.peakRate, t.peakAt
+}
+
+// Summary renders the one-paragraph SLO report faasim prints.
+func (t *BurnTracker) Summary() string {
+	if t == nil || t.total == 0 {
+		return "slo: no completions recorded\n"
+	}
+	out := fmt.Sprintf("slo %v: %d/%d over objective (burn rate %.1f%%)",
+		t.Objective, t.violations, t.total, t.BurnRate()*100)
+	if t.Window > 0 {
+		out += fmt.Sprintf("; peak %v-windowed burn %.1f%% at t=%v",
+			t.Window, t.peakRate*100, t.peakAt)
+	}
+	return out + "\n"
+}

@@ -1,0 +1,142 @@
+package xray
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffEntry is one compared (experiment, function, segment) cell. Values are
+// mean attributed nanoseconds per record, which normalizes out record-count
+// differences between the two runs.
+type DiffEntry struct {
+	Experiment string
+	Label      string
+	Segment    string
+	OldNs      float64
+	NewNs      float64
+}
+
+// Delta returns the relative change (new-old)/old; +Inf-like growth from a
+// zero baseline reports as 1 (100%) per appeared nanosecond bucket.
+func (d DiffEntry) Delta() float64 {
+	if d.OldNs == 0 {
+		if d.NewNs == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (d.NewNs - d.OldNs) / d.OldNs
+}
+
+// DiffResult partitions the comparison of two attribution dumps.
+type DiffResult struct {
+	// Compared counts cells present in both documents.
+	Compared int
+	// Regressions grew by more than the threshold; Improvements shrank by
+	// more than the threshold. Both sorted by decreasing |delta|, ties by
+	// (experiment, label, segment).
+	Regressions  []DiffEntry
+	Improvements []DiffEntry
+	// OnlyOld / OnlyNew name cells present in one document only.
+	OnlyOld []string
+	OnlyNew []string
+}
+
+// Diff compares two attribution dumps cell by cell. threshold is the relative
+// change (e.g. 0.25 for 25%) below which a difference is noise; cells moving
+// past it in either direction are reported. Two same-seed runs produce
+// identical documents and therefore zero regressions.
+func Diff(old, new RunDoc, threshold float64) (*DiffResult, error) {
+	if old.Schema != new.Schema {
+		return nil, fmt.Errorf("xray: schema mismatch: %d vs %d", old.Schema, new.Schema)
+	}
+	type cell struct{ exp, label, seg string }
+	index := func(doc RunDoc) map[cell]float64 {
+		m := make(map[cell]float64)
+		for _, r := range doc.Reports {
+			for _, fr := range r.Functions {
+				for _, s := range fr.Segments {
+					if fr.Records > 0 {
+						m[cell{r.Experiment, fr.Label, s.ID}] = float64(s.Total.Nanoseconds()) / float64(fr.Records)
+					}
+				}
+			}
+		}
+		return m
+	}
+	oldCells, newCells := index(old), index(new)
+
+	res := &DiffResult{}
+	for c, ov := range oldCells {
+		nv, ok := newCells[c]
+		if !ok {
+			res.OnlyOld = append(res.OnlyOld, c.exp+"/"+c.label+"/"+c.seg)
+			continue
+		}
+		res.Compared++
+		e := DiffEntry{Experiment: c.exp, Label: c.label, Segment: c.seg, OldNs: ov, NewNs: nv}
+		switch d := e.Delta(); {
+		case d > threshold:
+			res.Regressions = append(res.Regressions, e)
+		case d < -threshold:
+			res.Improvements = append(res.Improvements, e)
+		}
+	}
+	for c := range newCells {
+		if _, ok := oldCells[c]; !ok {
+			res.OnlyNew = append(res.OnlyNew, c.exp+"/"+c.label+"/"+c.seg)
+		}
+	}
+	byMagnitude := func(entries []DiffEntry) {
+		sort.Slice(entries, func(i, j int) bool {
+			di, dj := entries[i].Delta(), entries[j].Delta()
+			if di < 0 {
+				di = -di
+			}
+			if dj < 0 {
+				dj = -dj
+			}
+			if di != dj {
+				return di > dj
+			}
+			a, b := entries[i], entries[j]
+			if a.Experiment != b.Experiment {
+				return a.Experiment < b.Experiment
+			}
+			if a.Label != b.Label {
+				return a.Label < b.Label
+			}
+			return a.Segment < b.Segment
+		})
+	}
+	byMagnitude(res.Regressions)
+	byMagnitude(res.Improvements)
+	sort.Strings(res.OnlyOld)
+	sort.Strings(res.OnlyNew)
+	return res, nil
+}
+
+// Format renders the diff result as the human report tossctl prints.
+func (r *DiffResult) Format(threshold float64) string {
+	var b strings.Builder
+	line := func(tag string, e DiffEntry) {
+		fmt.Fprintf(&b, "  %-10s %s/%s/%s: %.1f -> %.1f ns/record (%+.1f%%)\n",
+			tag, e.Experiment, e.Label, e.Segment, e.OldNs, e.NewNs, e.Delta()*100)
+	}
+	for _, e := range r.Regressions {
+		line("REGRESSED", e)
+	}
+	for _, e := range r.Improvements {
+		line("improved", e)
+	}
+	for _, c := range r.OnlyOld {
+		fmt.Fprintf(&b, "  only-old   %s\n", c)
+	}
+	for _, c := range r.OnlyNew {
+		fmt.Fprintf(&b, "  only-new   %s\n", c)
+	}
+	fmt.Fprintf(&b, "%d cells compared at %.0f%% threshold: %d regressed, %d improved\n",
+		r.Compared, threshold*100, len(r.Regressions), len(r.Improvements))
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package xray
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleDoc() RunDoc {
+	rep := Aggregate("fig2", sampleBudgets())
+	return RunDoc{Schema: SchemaVersion, Reports: []*Report{rep}}
+}
+
+func TestDiffIdenticalDocsZeroRegressions(t *testing.T) {
+	// The acceptance criterion: diffing two same-seed runs reports nothing.
+	doc := sampleDoc()
+	res, err := Diff(doc, doc, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 || len(res.Improvements) != 0 ||
+		len(res.OnlyOld) != 0 || len(res.OnlyNew) != 0 {
+		t.Fatalf("identical docs must diff clean: %+v", res)
+	}
+	if res.Compared == 0 {
+		t.Fatal("identical docs should still compare cells")
+	}
+}
+
+func TestDiffDetectsRegression(t *testing.T) {
+	oldDoc := sampleDoc()
+	newDoc := sampleDoc()
+	// Inflate beta's exec.mem.slow by 50%.
+	segs := newDoc.Reports[0].Functions[findLabel(t, newDoc.Reports[0], "beta")].Segments
+	for i := range segs {
+		if segs[i].ID == SegExecMemSlow {
+			segs[i].Total = segs[i].Total * 3 / 2
+		}
+	}
+	res, err := Diff(oldDoc, newDoc, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 1 {
+		t.Fatalf("want exactly one regression, got %+v", res.Regressions)
+	}
+	r := res.Regressions[0]
+	if r.Experiment != "fig2" || r.Label != "beta" || r.Segment != SegExecMemSlow {
+		t.Fatalf("regression names the wrong cell: %+v", r)
+	}
+	if d := r.Delta(); d < 0.49 || d > 0.51 {
+		t.Fatalf("delta: want ~0.5, got %v", d)
+	}
+	if !strings.Contains(res.Format(0.25), "REGRESSED  fig2/beta/exec.mem.slow") {
+		t.Fatalf("format must name the cell:\n%s", res.Format(0.25))
+	}
+}
+
+func findLabel(t *testing.T, r *Report, label string) int {
+	t.Helper()
+	for i, fr := range r.Functions {
+		if fr.Label == label {
+			return i
+		}
+	}
+	t.Fatalf("label %q not in report", label)
+	return -1
+}
+
+func TestDiffDetectsImprovementAndOnlyCells(t *testing.T) {
+	oldDoc := sampleDoc()
+	newDoc := sampleDoc()
+	nr := newDoc.Reports[0]
+	bi := findLabel(t, nr, "beta")
+	for i := range nr.Functions[bi].Segments {
+		if nr.Functions[bi].Segments[i].ID == SegExecMemSlow {
+			nr.Functions[bi].Segments[i].Total /= 2
+		}
+	}
+	// A cell only the new doc has.
+	nr.Functions[bi].Segments = append(nr.Functions[bi].Segments,
+		SegmentStat{ID: "exec.novel", Total: 1, Count: 1})
+	res, err := Diff(oldDoc, newDoc, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Improvements) != 1 || res.Improvements[0].Segment != SegExecMemSlow {
+		t.Fatalf("improvements: %+v", res.Improvements)
+	}
+	if len(res.OnlyNew) != 1 || res.OnlyNew[0] != "fig2/beta/exec.novel" {
+		t.Fatalf("only-new: %v", res.OnlyNew)
+	}
+	// Swap directions: old has the extra cell.
+	res, err = Diff(newDoc, oldDoc, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OnlyOld) != 1 || res.OnlyOld[0] != "fig2/beta/exec.novel" {
+		t.Fatalf("only-old: %v", res.OnlyOld)
+	}
+}
+
+func TestDiffSchemaMismatch(t *testing.T) {
+	oldDoc := sampleDoc()
+	newDoc := sampleDoc()
+	newDoc.Schema = SchemaVersion + 1
+	if _, err := Diff(oldDoc, newDoc, 0.25); err == nil {
+		t.Fatal("schema mismatch must error")
+	}
+}
+
+func TestDiffZeroBaselineDelta(t *testing.T) {
+	if d := (DiffEntry{OldNs: 0, NewNs: 5}).Delta(); d != 1 {
+		t.Fatalf("growth from zero baseline: want 1, got %v", d)
+	}
+	if d := (DiffEntry{OldNs: 0, NewNs: 0}).Delta(); d != 0 {
+		t.Fatalf("zero-to-zero: want 0, got %v", d)
+	}
+}

@@ -1,0 +1,158 @@
+package xray
+
+import (
+	"sort"
+
+	"toss/internal/simtime"
+)
+
+// SegmentStat is one segment's aggregate across a set of budgets.
+type SegmentStat struct {
+	ID string
+	// Total is the summed attributed time.
+	Total simtime.Duration
+	// Count is the number of budgets containing the segment.
+	Count int64
+}
+
+// MarkStat is one mark's aggregate.
+type MarkStat struct {
+	ID string
+	N  int64
+}
+
+// FunctionReport is the per-label (per-function) budget table.
+type FunctionReport struct {
+	Label string
+	// Records is the number of budgets aggregated under this label.
+	Records int64
+	// Total is the summed end-to-end time across those budgets.
+	Total simtime.Duration
+	// Segments are sorted by id; Marks likewise.
+	Segments []SegmentStat
+	Marks    []MarkStat
+}
+
+// MeanNs returns a segment's mean attributed nanoseconds per record.
+func (fr *FunctionReport) MeanNs(segID string) float64 {
+	if fr.Records == 0 {
+		return 0
+	}
+	for _, s := range fr.Segments {
+		if s.ID == segID {
+			return float64(s.Total.Nanoseconds()) / float64(fr.Records)
+		}
+	}
+	return 0
+}
+
+// Report aggregates the budgets of one experiment (or replay).
+type Report struct {
+	// Experiment names the run the budgets came from.
+	Experiment string
+	// Records is the total number of budgets.
+	Records int64
+	// Total is the summed end-to-end time.
+	Total simtime.Duration
+	// Functions are sorted by label.
+	Functions []FunctionReport
+}
+
+// Aggregate folds a set of budgets into a report. The fold is commutative:
+// per-(label, segment) sums with fully sorted output, so the report is
+// independent of the order budgets arrived in — the property that keeps
+// parallel runs byte-identical to serial ones.
+func Aggregate(experiment string, budgets []*Budget) *Report {
+	type acc struct {
+		records int64
+		total   simtime.Duration
+		segs    map[string]*SegmentStat
+		marks   map[string]int64
+	}
+	byLabel := make(map[string]*acc)
+	rep := &Report{Experiment: experiment}
+	for _, b := range budgets {
+		if b == nil {
+			continue
+		}
+		a := byLabel[b.Label]
+		if a == nil {
+			a = &acc{segs: make(map[string]*SegmentStat), marks: make(map[string]int64)}
+			byLabel[b.Label] = a
+		}
+		a.records++
+		a.total += b.Recorded()
+		rep.Records++
+		rep.Total += b.Recorded()
+		for _, s := range b.Segments {
+			st := a.segs[s.ID]
+			if st == nil {
+				st = &SegmentStat{ID: s.ID}
+				a.segs[s.ID] = st
+			}
+			st.Total += s.Dur
+			st.Count++
+		}
+		for _, m := range b.Marks {
+			a.marks[m.ID] += m.N
+		}
+	}
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		a := byLabel[l]
+		fr := FunctionReport{Label: l, Records: a.records, Total: a.total}
+		for _, st := range a.segs {
+			fr.Segments = append(fr.Segments, *st)
+		}
+		sort.Slice(fr.Segments, func(i, j int) bool { return fr.Segments[i].ID < fr.Segments[j].ID })
+		for id, n := range a.marks {
+			fr.Marks = append(fr.Marks, MarkStat{ID: id, N: n})
+		}
+		sort.Slice(fr.Marks, func(i, j int) bool { return fr.Marks[i].ID < fr.Marks[j].ID })
+		rep.Functions = append(rep.Functions, fr)
+	}
+	return rep
+}
+
+// HotSpot is one (function, segment) cell of the top-K expensive-segment
+// report.
+type HotSpot struct {
+	Label   string
+	Segment string
+	Total   simtime.Duration
+	// Share is Total over the report's summed end-to-end time.
+	Share float64
+}
+
+// TopSegments returns the k most expensive (function, segment) cells,
+// ordered by decreasing total (ties by label, then segment id) — a
+// deterministic order regardless of how the report was aggregated.
+func (r *Report) TopSegments(k int) []HotSpot {
+	var out []HotSpot
+	for _, fr := range r.Functions {
+		for _, s := range fr.Segments {
+			share := 0.0
+			if r.Total > 0 {
+				share = float64(s.Total) / float64(r.Total)
+			}
+			out = append(out, HotSpot{Label: fr.Label, Segment: s.ID, Total: s.Total, Share: share})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Segment < out[j].Segment
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

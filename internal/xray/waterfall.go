@@ -1,0 +1,75 @@
+package xray
+
+import (
+	"fmt"
+	"strings"
+
+	"toss/internal/simtime"
+)
+
+// Waterfall renders one budget as an ASCII attribution waterfall: segments in
+// causal order, each with a bar scaled to its share of the recorded total.
+func Waterfall(b *Budget, width int) string {
+	if b == nil || len(b.Segments) == 0 {
+		return ""
+	}
+	if width < 8 {
+		width = 8
+	}
+	total := b.Recorded()
+	if total <= 0 {
+		total = b.Sum()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  total %v\n", b.Label, total)
+	for _, s := range b.Segments {
+		sb.WriteString(waterfallRow(s.ID, s.Dur, total, width))
+	}
+	for _, m := range b.Marks {
+		fmt.Fprintf(&sb, "  %-22s %d\n", "#"+m.ID, m.N)
+	}
+	return sb.String()
+}
+
+// ReportWaterfall renders a per-function aggregate as a waterfall of mean
+// per-record segment times, segments ordered by decreasing share.
+func ReportWaterfall(fr *FunctionReport, width int) string {
+	if fr == nil || fr.Records == 0 || len(fr.Segments) == 0 {
+		return ""
+	}
+	if width < 8 {
+		width = 8
+	}
+	meanTotal := simtime.Duration(int64(fr.Total) / fr.Records)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  %d records, mean total %v\n", fr.Label, fr.Records, meanTotal)
+	segs := append([]SegmentStat(nil), fr.Segments...)
+	// Largest mean first; ties by id for determinism.
+	for i := 0; i < len(segs); i++ {
+		for j := i + 1; j < len(segs); j++ {
+			if segs[j].Total > segs[i].Total ||
+				(segs[j].Total == segs[i].Total && segs[j].ID < segs[i].ID) {
+				segs[i], segs[j] = segs[j], segs[i]
+			}
+		}
+	}
+	for _, s := range segs {
+		mean := simtime.Duration(int64(s.Total) / fr.Records)
+		sb.WriteString(waterfallRow(s.ID, mean, meanTotal, width))
+	}
+	return sb.String()
+}
+
+// waterfallRow renders one "  id  bar  dur (share%)" line.
+func waterfallRow(id string, d, total simtime.Duration, width int) string {
+	share := 0.0
+	if total > 0 {
+		share = float64(d) / float64(total)
+	}
+	n := int(share*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	bar := strings.Repeat("#", n) + strings.Repeat(".", width-n)
+	return fmt.Sprintf("  %-22s %s %12v %5.1f%%\n", id, bar, d, share*100)
+}

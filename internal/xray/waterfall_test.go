@@ -1,0 +1,68 @@
+package xray
+
+import (
+	"strings"
+	"testing"
+
+	"toss/internal/simtime"
+)
+
+func TestWaterfallCausalOrder(t *testing.T) {
+	b := New("compress")
+	b.Add(SegBootKernel, 60*simtime.Millisecond)
+	b.Add(SegExecCPU, 40*simtime.Millisecond)
+	b.Mark(MarkMajorFaults, 12)
+	b.Seal(100 * simtime.Millisecond)
+	out := Waterfall(b, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 2 segments + 1 mark, got:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "compress") || !strings.Contains(lines[0], "total 100ms") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	// Causal order, not size order.
+	if !strings.Contains(lines[1], SegBootKernel) || !strings.Contains(lines[2], SegExecCPU) {
+		t.Fatalf("segment order:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "60.0%") || !strings.Contains(lines[2], "40.0%") {
+		t.Fatalf("shares:\n%s", out)
+	}
+	// 60% of a width-10 bar is 6 hashes.
+	if !strings.Contains(lines[1], "######....") {
+		t.Fatalf("bar scaling:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "#"+MarkMajorFaults) || !strings.Contains(lines[3], "12") {
+		t.Fatalf("mark line:\n%s", out)
+	}
+}
+
+func TestWaterfallEmptyAndNil(t *testing.T) {
+	if Waterfall(nil, 10) != "" {
+		t.Fatal("nil budget must render empty")
+	}
+	if Waterfall(New("fn"), 10) != "" {
+		t.Fatal("segmentless budget must render empty")
+	}
+}
+
+func TestReportWaterfallMeansLargestFirst(t *testing.T) {
+	rep := Aggregate("exp", sampleBudgets())
+	fr := &rep.Functions[0] // alpha: 2 records
+	out := ReportWaterfall(fr, 16)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "2 records") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	// boot.kernel (40ms total) outranks exec.cpu (21ms total).
+	if !strings.Contains(lines[1], SegBootKernel) {
+		t.Fatalf("largest-first order:\n%s", out)
+	}
+	// Means are per record: 40ms/2 = 20ms.
+	if !strings.Contains(lines[1], "20ms") {
+		t.Fatalf("mean per record:\n%s", out)
+	}
+	if ReportWaterfall(nil, 16) != "" || ReportWaterfall(&FunctionReport{}, 16) != "" {
+		t.Fatal("nil/empty report must render empty")
+	}
+}

@@ -39,13 +39,27 @@ if ! cmp -s "$tmp/serial.txt" "$tmp/parallel.txt"; then
 fi
 echo "serial ${serial}s, parallel(${workers}) ${par}s, outputs byte-identical" >&2
 
-# The fault-tolerance sweep alone, as the fault machinery's end-to-end cost.
-ext8_start=$(date +%s.%N)
-"$tmp/tossctl" -parallel 1 ext8 > /dev/null
-ext8_end=$(date +%s.%N)
-ext8=$(echo "$ext8_end $ext8_start" | awk '{printf "%.2f", $1 - $2}')
-echo "ext8 ${ext8}s" >&2
+# Per-experiment wall-clock of every ext experiment (ext8 doubles as the
+# fault machinery's end-to-end cost benchmark and keeps its own field).
+ext_flags=()
+ext8=0
+for id in $("$tmp/tossctl" list | grep '^ext'); do
+    t_start=$(date +%s.%N)
+    "$tmp/tossctl" -parallel 1 "$id" > /dev/null
+    t_end=$(date +%s.%N)
+    secs=$(echo "$t_end $t_start" | awk '{printf "%.2f", $1 - $2}')
+    echo "$id ${secs}s" >&2
+    ext_flags+=(-ext "$id=$secs")
+    if [ "$id" = ext8 ]; then ext8="$secs"; fi
+done
 
 go run ./scripts/benchjson -serial "$serial" -parallel "$par" -workers "$workers" \
-    -ext8 "$ext8" < "$tmp/bench.txt" > "$out"
+    -ext8 "$ext8" "${ext_flags[@]}" < "$tmp/bench.txt" > "$out"
 echo "wrote $out" >&2
+
+# Run-to-run regression diff against the checked-in baseline: warn-only (CI
+# machines vary); pass -fail in a gating context.
+if [ -f BENCH_experiments.json ] && [ "$out" != BENCH_experiments.json ]; then
+    echo "== diff vs checked-in baseline (warn-only, 25% threshold) ==" >&2
+    "$tmp/tossctl" diff BENCH_experiments.json "$out" >&2 || true
+fi

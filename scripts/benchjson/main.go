@@ -33,6 +33,11 @@ type Benchmark struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
+// SchemaVersion stamps the report format; `tossctl diff` refuses to compare
+// mismatched schemas (reports written before versioning read as 0 and are
+// normalized on load).
+const SchemaVersion = 1
+
 // Suite records the end-to-end `tossctl all` wall-clock comparison.
 type Suite struct {
 	SerialSeconds   float64 `json:"serial_seconds"`
@@ -42,12 +47,35 @@ type Suite struct {
 	// Ext8Seconds is the wall-clock of the ext8 fault-tolerance sweep on
 	// its own — the fault machinery's end-to-end cost benchmark.
 	Ext8Seconds float64 `json:"ext8_seconds,omitempty"`
+	// ExtSeconds is the per-experiment wall-clock of each ext experiment,
+	// passed via repeated -ext name=seconds flags. Maps marshal with sorted
+	// keys, so the report stays byte-deterministic for given inputs.
+	ExtSeconds map[string]float64 `json:"ext_seconds,omitempty"`
 }
 
 // Report is the document written to stdout.
 type Report struct {
+	Schema     int         `json:"schema_version"`
 	Suite      *Suite      `json:"suite,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// extFlag collects repeated -ext name=seconds pairs.
+type extFlag map[string]float64
+
+func (e extFlag) String() string { return fmt.Sprint(map[string]float64(e)) }
+
+func (e extFlag) Set(v string) error {
+	name, secs, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=seconds, got %q", v)
+	}
+	f, err := strconv.ParseFloat(secs, 64)
+	if err != nil {
+		return fmt.Errorf("bad seconds in %q: %w", v, err)
+	}
+	e[name] = f
+	return nil
 }
 
 func main() {
@@ -55,9 +83,11 @@ func main() {
 	parallel := flag.Float64("parallel", 0, "wall-clock seconds of `tossctl all -parallel N`")
 	workers := flag.Int("workers", 0, "worker count N used for the parallel run")
 	ext8 := flag.Float64("ext8", 0, "wall-clock seconds of the ext8 fault sweep alone (0 omits)")
+	exts := extFlag{}
+	flag.Var(exts, "ext", "per-experiment wall-clock as name=seconds (repeatable, e.g. -ext ext1=3.20)")
 	flag.Parse()
 
-	report := Report{Benchmarks: []Benchmark{}}
+	report := Report{Schema: SchemaVersion, Benchmarks: []Benchmark{}}
 	if *serial > 0 && *parallel > 0 {
 		report.Suite = &Suite{
 			SerialSeconds:   *serial,
@@ -65,6 +95,9 @@ func main() {
 			Workers:         *workers,
 			Speedup:         *serial / *parallel,
 			Ext8Seconds:     *ext8,
+		}
+		if len(exts) > 0 {
+			report.Suite.ExtSeconds = exts
 		}
 	}
 
