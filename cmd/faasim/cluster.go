@@ -1,0 +1,212 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"toss/internal/cluster"
+	"toss/internal/fleet"
+	"toss/internal/platform"
+	"toss/internal/sched"
+	"toss/internal/simtime"
+	"toss/internal/workload"
+	"toss/internal/xray"
+)
+
+// clusterOpts carries the parsed flags that drive cluster mode (-nodes > 0).
+type clusterOpts struct {
+	nodes      int
+	router     string
+	arrival    string
+	horizon    time.Duration
+	meanIAT    time.Duration
+	autoscale  bool
+	mode       platform.Mode
+	window     int
+	seed       int64
+	functions  []string
+	slo        time.Duration
+	sloWindow  time.Duration
+	explain    bool
+	explainTop int
+}
+
+// runCluster profiles the functions once through the single-host machinery,
+// generates a seeded arrival stream, replays it through the fleet simulator,
+// and prints the per-function and fleet-level summary. Everything downstream
+// of the profile is a serial event loop, so the output is byte-deterministic
+// for a given flag set.
+func runCluster(o clusterOpts) int {
+	var mech sched.Mechanism
+	switch o.mode {
+	case platform.ModeTOSS:
+		mech = sched.MechTOSS
+	case platform.ModeREAP:
+		mech = sched.MechREAP
+	case platform.ModeFaaSnap:
+		mech = sched.MechFaaSnap
+	case platform.ModeDRAM:
+		mech = sched.MechDRAM
+	default:
+		fmt.Fprintf(os.Stderr, "faasim: -mode %s has no cluster profile (cluster mode supports toss, reap, faasnap, dram)\n", o.mode)
+		return 2
+	}
+
+	pol, err := cluster.ParsePolicy(o.router)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasim:", err)
+		return 2
+	}
+	proc, err := workload.ParseProcess(o.arrival)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasim:", err)
+		return 2
+	}
+
+	scfg := sched.DefaultConfig()
+	scfg.Core.ConvergenceWindow = o.window
+	scfg.Mechanism = mech
+	fmt.Printf("profiling %d functions in %s mode...\n", len(o.functions), mech)
+	profiles, err := cluster.Profile(scfg, o.functions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasim:", err)
+		return 1
+	}
+
+	arrivals, err := workload.Arrivals(workload.ArrivalsConfig{
+		Process:   proc,
+		Horizon:   simtime.FromStd(o.horizon),
+		MeanIAT:   simtime.FromStd(o.meanIAT),
+		Functions: o.functions,
+		Seed:      o.seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasim:", err)
+		return 2
+	}
+
+	ccfg := cluster.DefaultConfig(o.nodes)
+	if mech == sched.MechDRAM {
+		// A DRAM fleet has no slow tier to keep VMs in; price it honestly.
+		ccfg.Hosts = fleet.DRAMOnlyHost().Hosts(o.nodes)
+	}
+	ccfg.Router = pol
+	if o.slo > 0 {
+		ccfg.SLO = simtime.FromStd(o.slo)
+		ccfg.BurnWindow = simtime.FromStd(o.sloWindow)
+	}
+	if o.autoscale {
+		ccfg.Autoscale.Enabled = true
+	}
+	var xcol *xray.Collector
+	if o.explain || o.explainTop > 0 {
+		xcol = xray.NewCollector()
+		ccfg.XRay = xcol
+	}
+
+	cl, err := cluster.New(ccfg, profiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasim:", err)
+		return 2
+	}
+	fmt.Printf("cluster: %d nodes (%s router), %s arrivals over %s (mean IAT %s)\n\n",
+		o.nodes, pol, proc, o.horizon, o.meanIAT)
+	rep, err := cl.Run(arrivals)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasim:", err)
+		return 1
+	}
+
+	printClusterReport(rep, o)
+
+	if xcol != nil {
+		budgets := xcol.Drain()
+		if o.explain {
+			agg := xray.Aggregate("cluster", budgets)
+			fmt.Printf("\nattribution (%d budgets, mean per record):\n", agg.Records)
+			for i := range agg.Functions {
+				fmt.Print(xray.ReportWaterfall(&agg.Functions[i], 32))
+			}
+		}
+		if o.explainTop > 0 {
+			slowest := append([]*xray.Budget(nil), budgets...)
+			sort.SliceStable(slowest, func(i, j int) bool {
+				return slowest[i].Recorded() > slowest[j].Recorded()
+			})
+			if len(slowest) > o.explainTop {
+				slowest = slowest[:o.explainTop]
+			}
+			fmt.Printf("\nslowest %d invocations:\n", len(slowest))
+			for _, b := range slowest {
+				fmt.Print(xray.Waterfall(b, 32))
+			}
+		}
+	}
+	return 0
+}
+
+// printClusterReport renders the per-function table, the per-node table, and
+// the fleet rollup.
+func printClusterReport(rep *cluster.Report, o clusterOpts) {
+	type agg struct {
+		n    int
+		cold int
+		lat  []simtime.Duration
+	}
+	byFn := make(map[string]*agg, len(o.functions))
+	for _, fn := range o.functions {
+		byFn[fn] = &agg{}
+	}
+	for _, rec := range rep.Records {
+		a := byFn[rec.Function]
+		a.n++
+		if rec.Cold {
+			a.cold++
+		}
+		a.lat = append(a.lat, rec.Latency())
+	}
+	names := append([]string(nil), o.functions...)
+	sort.Strings(names)
+
+	pct := func(ls []simtime.Duration, p float64) simtime.Duration {
+		if len(ls) == 0 {
+			return 0
+		}
+		return ls[int(p/100*float64(len(ls)-1))]
+	}
+	fmt.Printf("%-18s %8s %8s %12s %12s\n", "function", "invokes", "cold %", "p50", "p99")
+	for _, fn := range names {
+		a := byFn[fn]
+		sort.Slice(a.lat, func(i, j int) bool { return a.lat[i] < a.lat[j] })
+		coldPct := 0.0
+		if a.n > 0 {
+			coldPct = float64(a.cold) / float64(a.n) * 100
+		}
+		fmt.Printf("%-18s %8d %7.1f%% %12s %12s\n", fn, a.n, coldPct,
+			pct(a.lat, 50).Std().Round(time.Microsecond).String(),
+			pct(a.lat, 99).Std().Round(time.Microsecond).String())
+	}
+
+	fmt.Printf("\n%-6s %8s %8s %12s %s\n", "node", "invokes", "cold", "busy", "final")
+	for _, ns := range rep.Nodes {
+		fmt.Printf("%-6s %8d %8d %12s %v\n", ns.ID, ns.Invocations, ns.ColdStarts,
+			ns.Busy.Std().Round(time.Millisecond).String(), ns.Final)
+	}
+
+	fmt.Printf("\nrouter: %d decisions (%d affinity hits, %d spills); snapshot pulls %d (%s)\n",
+		rep.Router.Decisions, rep.Router.AffinityHits, rep.Router.Spills,
+		rep.Pulls, rep.PullTime.Std().Round(time.Millisecond))
+	fmt.Printf("fleet: peak %d nodes, final %d, %d scale events; cold starts %.1f%%; %.1f inv/s over %s\n",
+		rep.PeakNodes, rep.FinalNodes, len(rep.ScaleEvents),
+		rep.ColdFraction()*100, rep.Throughput(),
+		rep.Horizon.Std().Round(time.Millisecond))
+	for _, ev := range rep.ScaleEvents {
+		fmt.Printf("  scale %-4s %-4s at %-10s util %.2f burn %.2f fleet %d\n",
+			ev.Action, ev.Node, ev.At.Std().Round(time.Millisecond), ev.Util, ev.Burn, ev.Fleet)
+	}
+	if rep.Burn != nil {
+		fmt.Printf("\n%s", rep.Burn.Summary())
+	}
+}

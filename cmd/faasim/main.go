@@ -25,6 +25,14 @@
 // (/metrics, /timeseries.json, /heatmap, /healthz, /debug/pprof/) after the
 // replay finishes. The recorder, like tracing, forces a single worker.
 //
+// With -nodes N, faasim switches to cluster mode (internal/cluster): it
+// profiles the functions once through the single-host machinery, generates a
+// seeded arrival stream (-arrival poisson|diurnal|flash over -horizon at
+// -mean-iat), and replays it through a fleet of N modeled nodes behind the
+// chosen -router (rr, least, or affinity) with an optional -autoscale.
+// Cluster mode is a serial event loop and excludes the replay-only surfaces
+// (-trace, -http, -fault-rate, ...); -slo and -explain work in both modes.
+//
 // Usage:
 //
 //	faasim [-mode toss|reap|faasnap|dram|slow] [-requests N] [-workers N]
@@ -32,6 +40,8 @@
 //	       [-trace out.json] [-trace-format chrome|jsonl] [-flame]
 //	       [-http :8080] [-prom out.prom] [-csv out.csv] [-heatmap]
 //	       [-record-interval 100ms] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	       [-nodes N] [-router rr|least|affinity] [-arrival poisson|diurnal|flash]
+//	       [-horizon 60s] [-mean-iat 100ms] [-autoscale]
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"strings"
 	"time"
 
+	"toss/internal/cliutil"
 	"toss/internal/core"
 	"toss/internal/fault"
 	"toss/internal/obs"
@@ -73,6 +84,12 @@ func main() {
 	recordInterval := flag.Duration("record-interval", 100*time.Millisecond, "flight-recorder sampling cadence in virtual time")
 	faultRate := flag.Float64("fault-rate", 0, "uniform per-site fault rate in [0, 1] (0 disables; forces -workers 1)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-plan seed (with -fault-rate)")
+	nodes := flag.Int("nodes", 0, "simulate a fleet of N nodes instead of one host (cluster mode)")
+	router := flag.String("router", "affinity", "cluster routing policy: rr, least, or affinity (with -nodes)")
+	arrival := flag.String("arrival", "poisson", "cluster arrival process: poisson, diurnal, or flash (with -nodes)")
+	horizon := flag.Duration("horizon", 60*time.Second, "cluster arrival horizon in virtual time (with -nodes)")
+	meanIAT := flag.Duration("mean-iat", 100*time.Millisecond, "cluster mean inter-arrival time (with -nodes)")
+	autoscale := flag.Bool("autoscale", false, "enable the cluster autoscaler (with -nodes; fleet may grow to 4x)")
 	explain := flag.Bool("explain", false, "print per-function latency attribution waterfalls after the replay")
 	explainTop := flag.Int("explain-top", 0, "print full attribution waterfalls for the N slowest invocations")
 	slo := flag.Duration("slo", 0, "latency objective; reports SLO burn (violations, burn rate, peak windowed burn) after the replay")
@@ -119,18 +136,77 @@ func main() {
 		}
 	})
 	// All flag-interaction diagnostics share one format that names the
-	// conflicting flag pair (see the README's flag interaction table).
-	warned := false
-	forceSingleWorker := func(flagName, why string) {
-		if *workers == 1 {
-			return
+	// conflicting flag pair (see the README's flag interaction table);
+	// internal/cliutil renders them for faasim and tossctl alike.
+	forcer := &cliutil.WorkerForcer{Prog: "faasim", Workers: workers, Err: os.Stderr}
+	forceSingleWorker := func(flagName, why string) { forcer.Force(flagName, why) }
+
+	// Cluster mode is a different simulator: a modeled fleet fed by arrival
+	// generators, not the microVM replay loop. Its flags make no sense
+	// without -nodes, and the replay-only surfaces make no sense with it.
+	clusterOnly := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "router", "arrival", "horizon", "mean-iat", "autoscale":
+			clusterOnly["-"+f.Name] = true
 		}
-		if !warned {
-			fmt.Fprintf(os.Stderr, "faasim: %s conflicts with -workers %d (%s); forcing -workers 1\n",
-				flagName, *workers, why)
-			warned = true
+	})
+	if *nodes <= 0 {
+		for _, name := range []string{"-router", "-arrival", "-horizon", "-mean-iat", "-autoscale"} {
+			if clusterOnly[name] {
+				fmt.Fprintln(os.Stderr, cliutil.Requires("faasim", name, "-nodes",
+					"cluster mode routes through the fleet simulator"))
+				os.Exit(2)
+			}
 		}
-		*workers = 1
+	} else {
+		for _, conflict := range []struct {
+			set  bool
+			name string
+		}{
+			{*traceOut != "", "-trace"},
+			{*flame, "-flame"},
+			{*httpAddr != "", "-http"},
+			{*promOut != "", "-prom"},
+			{*csvOut != "", "-csv"},
+			{*heatmap, "-heatmap"},
+			{*faultRate > 0, "-fault-rate"},
+		} {
+			if conflict.set {
+				fmt.Fprintln(os.Stderr, cliutil.MutuallyExclusive("faasim", "-nodes", conflict.name,
+					"the cluster simulator replays a modeled fleet, not the microVM platform"))
+				os.Exit(2)
+			}
+		}
+		if workersSetExplicitly && *workers > 1 {
+			fmt.Fprintln(os.Stderr, cliutil.ConflictFatal("faasim", "-nodes", *workers,
+				"the cluster event loop is serial by construction"))
+			os.Exit(2)
+		}
+		names := strings.Split(*fns, ",")
+		for i, name := range names {
+			names[i] = strings.TrimSpace(name)
+			if _, ok := workload.ByName(names[i]); !ok {
+				fmt.Fprintf(os.Stderr, "faasim: unknown function %q (known: %v)\n", name, workload.Names())
+				os.Exit(2)
+			}
+		}
+		os.Exit(runCluster(clusterOpts{
+			nodes:      *nodes,
+			router:     *router,
+			arrival:    *arrival,
+			horizon:    *horizon,
+			meanIAT:    *meanIAT,
+			autoscale:  *autoscale,
+			mode:       mode,
+			window:     *window,
+			seed:       *seed,
+			functions:  names,
+			slo:        *slo,
+			sloWindow:  *sloWindow,
+			explain:    *explain,
+			explainTop: *explainTop,
+		}))
 	}
 
 	var tracer *telemetry.Tracer
@@ -151,7 +227,8 @@ func main() {
 
 	recording := *httpAddr != "" || *promOut != "" || *csvOut != "" || *heatmap
 	if *httpAddr != "" && workersSetExplicitly && *workers > 1 {
-		fmt.Fprintf(os.Stderr, "faasim: -http conflicts with -workers %d (the dashboard serves a deterministic timeline); drop -workers or pass -workers 1\n", *workers)
+		fmt.Fprintln(os.Stderr, cliutil.ConflictFatal("faasim", "-http", *workers,
+			"the dashboard serves a deterministic timeline"))
 		os.Exit(2)
 	}
 	if recording {

@@ -32,6 +32,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"toss/internal/cliutil"
 	"toss/internal/experiments"
 	"toss/internal/fault"
 	"toss/internal/telemetry"
@@ -177,7 +178,8 @@ func run() int {
 
 	if *xrayOut != "" {
 		if met != nil {
-			fmt.Fprintln(os.Stderr, "tossctl: -xray and -metrics are mutually exclusive (both re-shape the per-experiment run loop)")
+			fmt.Fprintln(os.Stderr, cliutil.MutuallyExclusive("tossctl", "-xray", "-metrics",
+				"both re-shape the per-experiment run loop"))
 			return 2
 		}
 		return runXRay(suite, ids, *xrayOut, *timing, render)

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+
+	"toss/internal/simtime"
+	"toss/internal/telemetry"
+)
+
+// Autoscaler configures the virtual-time fleet autoscaler. Every Tick of
+// virtual time it inspects two fleet-wide signals — mean core utilization
+// since the last tick and the SLO burn fraction among completions since the
+// last tick (fed by the same xray.BurnTracker the report exposes) — and
+// grows the fleet when either runs hot, or drains the least-loaded node
+// when both run cold. Decisions depend only on virtual-time state, so they
+// replay identically from the seed.
+type Autoscaler struct {
+	// Enabled turns the autoscaler on.
+	Enabled bool
+	// Tick is the evaluation period (default 5s of virtual time).
+	Tick simtime.Duration
+	// Min / Max bound the fleet size (defaults: initial size, 4x initial).
+	Min, Max int
+	// UtilHigh / UtilLow are the utilization thresholds for scaling up /
+	// initiating a drain (defaults 0.80 / 0.25).
+	UtilHigh, UtilLow float64
+	// BurnHigh is the per-tick SLO violation fraction that forces a scale
+	// up regardless of utilization (default 0.10). Requires Config.SLO.
+	BurnHigh float64
+}
+
+// withDefaults fills zero fields relative to the initial fleet size.
+func (a Autoscaler) withDefaults(initial int) Autoscaler {
+	if !a.Enabled {
+		return a
+	}
+	if a.Tick == 0 {
+		a.Tick = 5 * simtime.Second
+	}
+	if a.Min == 0 {
+		a.Min = initial
+	}
+	if a.Max == 0 {
+		a.Max = 4 * initial
+	}
+	if a.UtilHigh == 0 {
+		a.UtilHigh = 0.80
+	}
+	if a.UtilLow == 0 {
+		a.UtilLow = 0.25
+	}
+	if a.BurnHigh == 0 {
+		a.BurnHigh = 0.10
+	}
+	return a
+}
+
+// validate checks the autoscaler configuration.
+func (a Autoscaler) validate(initial int) error {
+	if !a.Enabled {
+		return nil
+	}
+	if a.Tick <= 0 {
+		return fmt.Errorf("cluster: non-positive autoscaler tick")
+	}
+	if a.Min < 1 || a.Max < a.Min {
+		return fmt.Errorf("cluster: autoscaler bounds [%d, %d] invalid", a.Min, a.Max)
+	}
+	if initial < a.Min || initial > a.Max {
+		return fmt.Errorf("cluster: initial fleet size %d outside autoscaler bounds [%d, %d]", initial, a.Min, a.Max)
+	}
+	if a.UtilHigh <= a.UtilLow {
+		return fmt.Errorf("cluster: UtilHigh %.2f must exceed UtilLow %.2f", a.UtilHigh, a.UtilLow)
+	}
+	return nil
+}
+
+// ScaleEvent is one autoscaler decision.
+type ScaleEvent struct {
+	At simtime.Duration
+	// Action is "up" (node added) or "down" (node begins draining).
+	Action string
+	// Node names the added or draining node.
+	Node string
+	// Util and Burn are the signals at decision time.
+	Util float64
+	Burn float64
+	// Fleet is the routable fleet size after the decision.
+	Fleet int
+}
+
+// onScaleTick evaluates the fleet signals and resizes if warranted.
+func (c *Cluster) onScaleTick() {
+	// Retire drained nodes first: a draining node with nothing in flight
+	// leaves the fleet (its cached state is discarded).
+	for _, n := range c.nodes {
+		if n.alive && n.draining && n.inflight() == 0 {
+			n.alive = false
+		}
+	}
+
+	as := c.cfg.Autoscale
+	routable := c.routable()
+	if len(routable) == 0 {
+		return
+	}
+
+	// Mean utilization since the last tick across routable cores.
+	busyDelta := c.report.BusyCoreTime - c.lastBusy
+	c.lastBusy = c.report.BusyCoreTime
+	util := float64(busyDelta) / (float64(as.Tick) * float64(c.cfg.Cores) * float64(len(routable)))
+
+	// SLO burn fraction among completions since the last tick, as deltas
+	// of the fleet burn tracker's totals.
+	var burn float64
+	if c.burn != nil {
+		total, bad := c.burn.Totals()
+		if d := total - c.lastTotal; d > 0 {
+			burn = float64(bad-c.lastBad) / float64(d)
+		}
+		c.lastTotal, c.lastBad = total, bad
+	}
+
+	switch {
+	case (util > as.UtilHigh || burn > as.BurnHigh) && len(routable) < as.Max:
+		h := c.cfg.Hosts[(c.nextID)%len(c.cfg.Hosts)]
+		n := c.addNode(h)
+		c.recordScale("up", n, util, burn)
+	case util < as.UtilLow && burn <= as.BurnHigh/2 && len(routable) > as.Min:
+		// Drain the routable node with the least in flight; ties prefer
+		// the newest node so the original fleet persists.
+		victim := routable[0]
+		for _, n := range routable[1:] {
+			if n.inflight() < victim.inflight() || (n.inflight() == victim.inflight() && n.id > victim.id) {
+				victim = n
+			}
+		}
+		victim.draining = true
+		c.recordScale("down", victim, util, burn)
+	}
+}
+
+// recordScale logs one decision on every surface.
+func (c *Cluster) recordScale(action string, n *node, util, burn float64) {
+	before := len(c.routable())
+	switch action {
+	case "up":
+		c.pendingUp++
+	case "down":
+		c.pendingDown++
+	}
+	ev := ScaleEvent{At: c.now, Action: action, Node: n.id, Util: util, Burn: burn, Fleet: before}
+	c.report.ScaleEvents = append(c.report.ScaleEvents, ev)
+	if m := c.cfg.Metrics; m != nil {
+		if action == "up" {
+			m.Counter(telemetry.MetricClusterScaleUps).Add(1)
+		} else {
+			m.Counter(telemetry.MetricClusterScaleDown).Add(1)
+		}
+		m.Gauge(telemetry.MetricClusterNodes).Set(int64(before))
+	}
+	if r := c.cfg.Recorder; r != nil {
+		delta := -1
+		if action == "up" {
+			delta = 1
+		}
+		r.ObservePhase("cluster/fleet", fmt.Sprintf("n=%d", before-delta), fmt.Sprintf("n=%d", before), 0)
+	}
+}

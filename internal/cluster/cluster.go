@@ -1,0 +1,590 @@
+// Package cluster simulates a fleet of tiered serverless hosts behind a
+// front-end router and a virtual-time autoscaler — the layer ROADMAP open
+// item 1 asks for above the single-host simulator. Each node owns its own
+// cores, tier capacities, keep-alive cache, and local snapshot store;
+// invocation costs come from per-function profiles measured once through
+// sched.Invoker (the calibrated single-host machinery), so fleet-scale runs
+// stay cheap, deterministic, and anchored to the paper's model.
+//
+// The cluster-level question mirrors TOSS's page-level one: restore latency
+// is dominated by where snapshot state already lives, so the router's
+// snapshot-affinity policy (rendezvous hashing) is page tiering writ large —
+// steer each function to the nodes whose disks and warm caches already hold
+// it, and cold starts shrink without any per-node change.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"toss/internal/costmodel"
+	"toss/internal/fleet"
+	"toss/internal/guest"
+	"toss/internal/keepalive"
+	"toss/internal/obs"
+	"toss/internal/simtime"
+	"toss/internal/telemetry"
+	"toss/internal/workload"
+	"toss/internal/xray"
+)
+
+// Config describes the simulated fleet.
+type Config struct {
+	// Hosts are the initial nodes' per-tier capacities, one entry per node
+	// (use fleet.HostSpec.Hosts for a homogeneous fleet). The autoscaler
+	// clones specs from this list round-robin when it grows the fleet.
+	Hosts []fleet.HostSpec
+	// Cores is the number of invocation slots per node.
+	Cores int
+	// DiskBytes is each node's local snapshot-store capacity; snapshots
+	// evict LRU when it fills.
+	DiskBytes int64
+	// PullBytesPerSec is the bandwidth for fetching a snapshot onto a
+	// node that does not hold it locally (charged on the cold path).
+	PullBytesPerSec int64
+	// ResumeCost is the cost of resuming a kept-alive VM (as in sched).
+	ResumeCost simtime.Duration
+	// Router selects the balancing policy.
+	Router Policy
+	// Cost prices the tiers for keep-alive eviction decisions.
+	Cost costmodel.Model
+	// SLO is the latency objective the burn tracker (and autoscaler)
+	// watches; zero disables burn tracking.
+	SLO simtime.Duration
+	// BurnWindow is the sliding window for the peak burn rate.
+	BurnWindow simtime.Duration
+	// Autoscale configures the virtual-time autoscaler.
+	Autoscale Autoscaler
+
+	// XRay, when set, collects one budget per invocation labeled
+	// "<fn>@<node>/cluster" with queue/pull/setup/exec segments and
+	// router/autoscaler marks.
+	XRay *xray.Collector
+	// Metrics, when set, receives cluster.* counters and gauges.
+	Metrics *telemetry.Metrics
+	// Recorder, when set, gets per-node placement rows ("<fn>@<node>") and
+	// fleet-resize phase events on its timelines.
+	Recorder *obs.Recorder
+}
+
+// DefaultConfig returns a small fleet of paper hosts: 3 nodes, 20 cores
+// each, 64 GB snapshot store, 2 GB/s pull bandwidth, affinity routing, and
+// a 250 ms SLO with autoscaling off.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Hosts:           fleet.PaperHost().Hosts(nodes),
+		Cores:           20,
+		DiskBytes:       64 << 30,
+		PullBytesPerSec: 2 << 30,
+		ResumeCost:      500 * simtime.Microsecond,
+		Router:          RouteAffinity,
+		Cost:            costmodel.Default(),
+		SLO:             250 * simtime.Millisecond,
+		BurnWindow:      10 * simtime.Second,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := fleet.ValidateFleet(c.Hosts); err != nil {
+		return err
+	}
+	if c.Cores < 1 {
+		return fmt.Errorf("cluster: Cores %d < 1", c.Cores)
+	}
+	if c.DiskBytes <= 0 {
+		return fmt.Errorf("cluster: non-positive snapshot store capacity")
+	}
+	if c.PullBytesPerSec <= 0 {
+		return fmt.Errorf("cluster: non-positive pull bandwidth")
+	}
+	if c.ResumeCost < 0 {
+		return fmt.Errorf("cluster: negative resume cost")
+	}
+	if c.SLO < 0 || c.BurnWindow < 0 {
+		return fmt.Errorf("cluster: negative SLO or burn window")
+	}
+	return c.Autoscale.validate(len(c.Hosts))
+}
+
+// node is one simulated host.
+type node struct {
+	id   string
+	host fleet.HostSpec
+
+	cores   int
+	free    int
+	waiting []queued
+	cache   *keepalive.Cache
+
+	// resident maps function -> snapshot bytes held on local disk;
+	// lastUsed drives LRU eviction when diskUsed would exceed capacity.
+	resident map[string]int64
+	lastUsed map[string]simtime.Duration
+	diskUsed int64
+
+	lastColdSetup map[string]simtime.Duration
+
+	busy        simtime.Duration
+	invocations int64
+	cold        int64
+
+	draining bool
+	alive    bool
+}
+
+type queued struct {
+	a   workload.ArrivalSpec
+	enq simtime.Duration
+}
+
+// inflight is the node's outstanding work: running plus queued invocations.
+func (n *node) inflight() int {
+	return len(n.waiting) + (n.cores - n.free)
+}
+
+// Record is the outcome of one routed invocation.
+type Record struct {
+	Function string
+	Node     string
+	// Level is the input level the invocation ran at (indexes the profile's
+	// per-level cost arrays, e.g. for computing inflation over a warm hit).
+	Level   int
+	Arrival simtime.Duration
+	// QueueDelay is time waiting for a core on the routed node.
+	QueueDelay simtime.Duration
+	// Pull is snapshot-fetch time on a cold start at a node without the
+	// snapshot on local disk (zero otherwise).
+	Pull  simtime.Duration
+	Setup simtime.Duration
+	Exec  simtime.Duration
+	Cold  bool
+}
+
+// Latency is the end-to-end response time.
+func (r Record) Latency() simtime.Duration { return r.QueueDelay + r.Pull + r.Setup + r.Exec }
+
+// NodeStats summarizes one node's run.
+type NodeStats struct {
+	ID          string
+	Invocations int64
+	ColdStarts  int64
+	Busy        simtime.Duration
+	Cache       keepalive.Stats
+	// Final reports the node was still live at the end of the run.
+	Final bool
+}
+
+// Report aggregates a cluster run.
+type Report struct {
+	Records []Record
+	Horizon simtime.Duration
+	Router  RouterStats
+	// Pulls / PullTime count snapshot fetches onto node-local stores.
+	Pulls    int64
+	PullTime simtime.Duration
+	// BusyCoreTime accumulates fleet-wide core occupancy (pull+setup+exec).
+	BusyCoreTime simtime.Duration
+	// ScaleEvents are the autoscaler's decisions in virtual-time order.
+	ScaleEvents []ScaleEvent
+	// PeakNodes / FinalNodes bracket the fleet size over the run.
+	PeakNodes  int
+	FinalNodes int
+	// Burn is the fleet-wide SLO burn tracker (nil without an SLO).
+	Burn *xray.BurnTracker
+	// Nodes lists per-node statistics in node-id order.
+	Nodes []NodeStats
+}
+
+// ColdFraction returns the fraction of invocations that cold-started.
+func (r *Report) ColdFraction() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	cold := 0
+	for _, rec := range r.Records {
+		if rec.Cold {
+			cold++
+		}
+	}
+	return float64(cold) / float64(len(r.Records))
+}
+
+// LatencyPercentile returns the p-th percentile end-to-end latency.
+func (r *Report) LatencyPercentile(p float64) simtime.Duration {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	ls := make([]simtime.Duration, len(r.Records))
+	for i, rec := range r.Records {
+		ls[i] = rec.Latency()
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	idx := int(p / 100 * float64(len(ls)-1))
+	return ls[idx]
+}
+
+// Throughput returns completed invocations per second of virtual time.
+func (r *Report) Throughput() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return float64(len(r.Records)) / r.Horizon.Seconds()
+}
+
+// event is one entry in the fleet-wide priority queue.
+type event struct {
+	at   simtime.Duration
+	kind eventKind
+	seq  int64 // tie-breaker for determinism
+	a    workload.ArrivalSpec
+	n    *node
+	// latency rides on completions so the burn tracker is fed in
+	// completion-time order (its Record contract).
+	latency simtime.Duration
+}
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evCompletion
+	evScaleTick
+)
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Cluster is one fleet simulation instance.
+type Cluster struct {
+	cfg      Config
+	profiles map[string]FnProfile
+
+	// nodes holds every node ever created, in creation order; live/routable
+	// filter it. Node ids ("n01", "n02", ...) follow creation order, so the
+	// whole run is reproducible from the seed and config alone.
+	nodes  []*node
+	nextID int
+	rr     int
+
+	queue eventQueue
+	seq   int64
+	now   simtime.Duration
+
+	report Report
+	burn   *xray.BurnTracker
+
+	// outstanding counts arrivals not yet completed; the autoscaler stops
+	// ticking when it reaches zero so runs terminate.
+	outstanding int64
+
+	// autoscaler deltas since the last tick.
+	lastBusy           simtime.Duration
+	lastTotal, lastBad int64
+	// pending scale marks attach to the next sealed xray budget.
+	pendingUp, pendingDown int64
+}
+
+// New builds a cluster from measured function profiles (see Profile).
+func New(cfg Config, profiles map[string]FnProfile) (*Cluster, error) {
+	cfg.Autoscale = cfg.Autoscale.withDefaults(len(cfg.Hosts))
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("cluster: no function profiles")
+	}
+	c := &Cluster{cfg: cfg, profiles: profiles}
+	for _, h := range cfg.Hosts {
+		c.addNode(h)
+	}
+	if cfg.SLO > 0 {
+		c.burn = xray.NewBurnTracker(cfg.SLO, cfg.BurnWindow)
+		c.report.Burn = c.burn
+	}
+	return c, nil
+}
+
+// addNode creates and registers one live node.
+func (c *Cluster) addNode(h fleet.HostSpec) *node {
+	c.nextID++
+	n := &node{
+		id:            fmt.Sprintf("n%02d", c.nextID),
+		host:          h,
+		cores:         c.cfg.Cores,
+		free:          c.cfg.Cores,
+		resident:      make(map[string]int64),
+		lastUsed:      make(map[string]simtime.Duration),
+		lastColdSetup: make(map[string]simtime.Duration),
+		alive:         true,
+	}
+	// The keep-alive cache spans the node's full tier capacities: warm VMs
+	// are what the memory is for.
+	cache, err := keepalive.New(h.FastBytes, h.SlowBytes, c.cfg.Cost)
+	if err != nil {
+		// Config and host specs were validated; a failure here is a
+		// programming error.
+		panic(err)
+	}
+	n.cache = cache
+	c.nodes = append(c.nodes, n)
+	if live := len(c.live()); live > c.report.PeakNodes {
+		c.report.PeakNodes = live
+	}
+	if m := c.cfg.Metrics; m != nil {
+		m.Gauge(telemetry.MetricClusterNodes).Set(int64(len(c.live())))
+	}
+	return n
+}
+
+// live returns the nodes still part of the fleet, in creation order.
+func (c *Cluster) live() []*node {
+	out := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// routable returns the live nodes accepting new traffic.
+func (c *Cluster) routable() []*node {
+	out := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.alive && !n.draining {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Run replays the arrival schedule to completion and returns the report.
+func (c *Cluster) Run(arrivals []workload.ArrivalSpec) (*Report, error) {
+	for _, a := range arrivals {
+		if _, ok := c.profiles[a.Function]; !ok {
+			return nil, fmt.Errorf("cluster: arrival for unprofiled function %q", a.Function)
+		}
+		c.push(&event{at: a.At, kind: evArrival, a: a})
+	}
+	c.outstanding = int64(len(arrivals))
+	if c.cfg.Autoscale.Enabled {
+		c.push(&event{at: c.cfg.Autoscale.Tick, kind: evScaleTick})
+	}
+	for len(c.queue) > 0 {
+		e := heap.Pop(&c.queue).(*event)
+		c.now = e.at
+		switch e.kind {
+		case evArrival:
+			n, spilled := c.route(e.a.Function)
+			c.countRoute(n, e.a.Function, spilled)
+			if n.free == 0 {
+				n.waiting = append(n.waiting, queued{a: e.a, enq: c.now})
+			} else {
+				c.dispatch(n, e.a, c.now)
+			}
+		case evCompletion:
+			e.n.free++
+			c.burn.Record(c.now, e.latency)
+			c.outstanding--
+			// The horizon is the last completion, not the last event, so a
+			// trailing autoscaler tick does not dilute Throughput.
+			if c.now > c.report.Horizon {
+				c.report.Horizon = c.now
+			}
+			for e.n.free > 0 && len(e.n.waiting) > 0 {
+				q := e.n.waiting[0]
+				e.n.waiting = e.n.waiting[1:]
+				c.dispatch(e.n, q.a, q.enq)
+			}
+		case evScaleTick:
+			c.onScaleTick()
+			if c.outstanding > 0 {
+				c.push(&event{at: c.now + c.cfg.Autoscale.Tick, kind: evScaleTick})
+			}
+		}
+		c.cfg.Recorder.RecordAt(c.now)
+	}
+	for _, n := range c.nodes {
+		c.report.Nodes = append(c.report.Nodes, NodeStats{
+			ID:          n.id,
+			Invocations: n.invocations,
+			ColdStarts:  n.cold,
+			Busy:        n.busy,
+			Cache:       n.cache.Stats(),
+			Final:       n.alive,
+		})
+	}
+	c.report.FinalNodes = len(c.live())
+	return &c.report, nil
+}
+
+func (c *Cluster) push(e *event) {
+	e.seq = c.seq
+	c.seq++
+	heap.Push(&c.queue, e)
+}
+
+// countRoute updates router statistics for one decision.
+func (c *Cluster) countRoute(n *node, fn string, spilled bool) {
+	c.report.Router.Decisions++
+	hit := n.cache.Contains(fn) || n.resident[fn] > 0
+	if hit {
+		c.report.Router.AffinityHits++
+	}
+	if spilled {
+		c.report.Router.Spills++
+	}
+	if m := c.cfg.Metrics; m != nil {
+		m.Counter(telemetry.MetricRouterDecisions).Add(1)
+		if hit {
+			m.Counter(telemetry.MetricRouterAffinity).Add(1)
+		}
+		if spilled {
+			m.Counter(telemetry.MetricRouterSpills).Add(1)
+		}
+	}
+}
+
+// dispatch runs one invocation on node n starting now.
+func (c *Cluster) dispatch(n *node, a workload.ArrivalSpec, arrivedAt simtime.Duration) {
+	n.free--
+	prof := c.profiles[a.Function]
+	lv := int(a.Level)
+
+	rec := Record{
+		Function:   a.Function,
+		Node:       n.id,
+		Level:      lv,
+		Arrival:    arrivedAt,
+		QueueDelay: c.now - arrivedAt,
+	}
+	if _, hit := n.cache.Take(a.Function); hit {
+		rec.Setup = c.cfg.ResumeCost
+		rec.Exec = prof.WarmExec[lv]
+	} else {
+		rec.Cold = true
+		n.cold++
+		if n.resident[a.Function] == 0 {
+			rec.Pull = c.pullSnapshot(n, a.Function, prof.SnapshotBytes)
+		}
+		rec.Setup = prof.ColdSetup[lv]
+		rec.Exec = prof.ColdExec[lv]
+		n.lastColdSetup[a.Function] = rec.Setup
+	}
+	n.lastUsed[a.Function] = c.now
+	n.invocations++
+
+	work := rec.Pull + rec.Setup + rec.Exec
+	finish := c.now + work
+	n.busy += work
+	c.report.BusyCoreTime += work
+	c.report.Records = append(c.report.Records, rec)
+	c.push(&event{at: finish, kind: evCompletion, n: n, latency: rec.Latency()})
+
+	c.observeInvocation(n, rec)
+
+	// Keep the finished VM warm on the node's tiers until evicted; the
+	// admission happens at dispatch (same convention as sched) so back-to-
+	// back arrivals see the warm VM.
+	cold := n.lastColdSetup[a.Function]
+	if cold == 0 {
+		cold = rec.Setup
+	}
+	n.cache.Admit(keepalive.ItemFor(a.Function, prof.FastPages, prof.SlowPages, cold))
+}
+
+// pullSnapshot fetches fn's snapshot onto n's local store, evicting LRU
+// snapshots to make room, and returns the transfer time.
+func (c *Cluster) pullSnapshot(n *node, fn string, bytes int64) simtime.Duration {
+	if bytes > c.cfg.DiskBytes {
+		// A snapshot larger than the store streams through without ever
+		// becoming resident; every cold start at this node re-pulls.
+		return simtime.Duration(bytes * int64(simtime.Second) / c.cfg.PullBytesPerSec)
+	}
+	for n.diskUsed+bytes > c.cfg.DiskBytes {
+		victim := ""
+		var oldest simtime.Duration
+		for name := range n.resident {
+			at := n.lastUsed[name]
+			if victim == "" || at < oldest || (at == oldest && name < victim) {
+				victim, oldest = name, at
+			}
+		}
+		if victim == "" {
+			break
+		}
+		n.diskUsed -= n.resident[victim]
+		delete(n.resident, victim)
+	}
+	n.resident[fn] = bytes
+	n.diskUsed += bytes
+	c.report.Pulls++
+	dur := simtime.Duration(bytes * int64(simtime.Second) / c.cfg.PullBytesPerSec)
+	c.report.PullTime += dur
+	if m := c.cfg.Metrics; m != nil {
+		m.Counter(telemetry.MetricSnapshotPulls).Add(1)
+	}
+	return dur
+}
+
+// observeInvocation lands one dispatched invocation on the telemetry, obs,
+// and xray surfaces.
+func (c *Cluster) observeInvocation(n *node, rec Record) {
+	if m := c.cfg.Metrics; m != nil {
+		if rec.Cold {
+			m.Counter(telemetry.MetricClusterColdStart).Add(1)
+		} else {
+			m.Counter(telemetry.MetricClusterWarmStart).Add(1)
+		}
+	}
+	if r := c.cfg.Recorder; r != nil {
+		// One heatmap row per (function, node): the fleet dashboard shows
+		// where each function's warm state concentrates.
+		var slow []guest.Region
+		if prof := c.profiles[rec.Function]; prof.SlowPages > 0 {
+			slow = []guest.Region{{Start: 0, Pages: prof.SlowPages}}
+		}
+		prof := c.profiles[rec.Function]
+		cause := "cluster:warm"
+		if rec.Cold {
+			cause = "cluster:cold"
+		}
+		r.ObservePlacement(rec.Function+"@"+n.id, slow, prof.FastPages+prof.SlowPages, cause)
+	}
+	if xr := c.cfg.XRay; xr != nil {
+		bud := xray.New(rec.Function + "@" + n.id + "/cluster")
+		bud.Add(xray.SegQueueWait, rec.QueueDelay)
+		bud.Add(xray.SegSnapshotPull, rec.Pull)
+		if rec.Cold {
+			bud.Add(xray.SegSchedSetup, rec.Setup)
+			bud.Mark("start.cold", 1)
+		} else {
+			bud.Add(xray.SegResume, rec.Setup)
+			bud.Mark("start.warm", 1)
+		}
+		bud.Add(xray.SegSchedExec, rec.Exec)
+		if c.pendingUp > 0 {
+			bud.Mark(xray.MarkScaleUp, c.pendingUp)
+			c.pendingUp = 0
+		}
+		if c.pendingDown > 0 {
+			bud.Mark(xray.MarkScaleDown, c.pendingDown)
+			c.pendingDown = 0
+		}
+		bud.Seal(rec.Latency())
+		xr.Observe(bud)
+	}
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"testing"
+
+	"toss/internal/sched"
+)
+
+// TestProfileMeasures runs the real measurement path (sched.Invoker over
+// the microVM machinery) for one function under TOSS and DRAM and checks
+// the profile shapes: steady state reached, tiered footprints for TOSS,
+// all-fast for DRAM, warm execution never above cold end-to-end cost, and
+// byte-identical numbers on re-measurement.
+func TestProfileMeasures(t *testing.T) {
+	base := sched.DefaultConfig() // ConvergenceWindow 12, like the suite
+
+	tossCfg := base
+	tossCfg.Mechanism = sched.MechTOSS
+	toss, err := Profile(tossCfg, []string{"json_load_dump"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := toss["json_load_dump"]
+	if p.Warmups == 0 {
+		t.Error("TOSS profile needed no warm-ups — convergence cannot be instant")
+	}
+	// The optimizer may legally place *all* pages in the slow tier when
+	// the slowdown stays acceptable, so only the slow side is guaranteed.
+	if p.SlowPages <= 0 {
+		t.Errorf("TOSS warm footprint (%d fast, %d slow) keeps nothing in the slow tier", p.FastPages, p.SlowPages)
+	}
+	if p.SnapshotBytes <= 0 {
+		t.Error("zero snapshot size")
+	}
+	for lv := 0; lv < 4; lv++ {
+		if p.ColdSetup[lv] <= 0 || p.ColdExec[lv] <= 0 || p.WarmExec[lv] <= 0 {
+			t.Fatalf("level %d has non-positive costs: %+v", lv, p)
+		}
+		if p.WarmExec[lv] >= p.ColdSetup[lv]+p.ColdExec[lv] {
+			t.Errorf("level %d warm exec %v not below cold setup+exec %v",
+				lv, p.WarmExec[lv], p.ColdSetup[lv]+p.ColdExec[lv])
+		}
+	}
+
+	dramCfg := base
+	dramCfg.Mechanism = sched.MechDRAM
+	dram, err := Profile(dramCfg, []string{"json_load_dump"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dram["json_load_dump"]
+	if d.SlowPages != 0 {
+		t.Errorf("DRAM warm footprint has %d slow pages; must be all-fast", d.SlowPages)
+	}
+	if d.FastPages <= 0 {
+		t.Error("DRAM warm footprint empty")
+	}
+
+	// Profiles must be reproducible from the config alone.
+	again, err := Profile(tossCfg, []string{"json_load_dump"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again["json_load_dump"] != p {
+		t.Errorf("re-measured TOSS profile differs:\n first %+v\nsecond %+v", p, again["json_load_dump"])
+	}
+}

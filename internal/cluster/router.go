@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Policy selects the front-end routing policy.
+type Policy int
+
+const (
+	// RouteRoundRobin cycles arrivals over live nodes in id order.
+	RouteRoundRobin Policy = iota
+	// RouteLeastLoaded picks the node with the fewest in-flight plus
+	// queued invocations (ties break by node id).
+	RouteLeastLoaded
+	// RouteAffinity steers each function to its rendezvous-hash node so
+	// restores land where the snapshot and warm VMs already live, spilling
+	// down the hash ranking when the primary is overloaded.
+	RouteAffinity
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case RouteRoundRobin:
+		return "rr"
+	case RouteLeastLoaded:
+		return "least"
+	case RouteAffinity:
+		return "affinity"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Policies returns every routing policy in canonical order.
+func Policies() []Policy { return []Policy{RouteRoundRobin, RouteLeastLoaded, RouteAffinity} }
+
+// ParsePolicy maps a CLI name to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown router policy %q (want rr, least, or affinity)", s)
+}
+
+// RouterStats counts front-end routing decisions.
+type RouterStats struct {
+	// Decisions is the total number of routed arrivals.
+	Decisions int64
+	// AffinityHits counts routes that landed on a node already holding the
+	// function warm or its snapshot on local disk (any policy).
+	AffinityHits int64
+	// Spills counts affinity routes diverted off the hash-primary node
+	// because it was overloaded.
+	Spills int64
+}
+
+// route picks the target node for one arrival among the live, non-draining
+// nodes. It never returns nil while the cluster has at least one routable
+// node; spilled reports an affinity diversion.
+func (c *Cluster) route(fn string) (n *node, spilled bool) {
+	cands := c.routable()
+	if len(cands) == 0 {
+		// Every node is draining (autoscaler pathology); fall back to all
+		// live nodes so traffic is never dropped.
+		cands = c.live()
+	}
+	switch c.cfg.Router {
+	case RouteLeastLoaded:
+		best := cands[0]
+		for _, nd := range cands[1:] {
+			if nd.inflight() < best.inflight() {
+				best = nd
+			}
+		}
+		return best, false
+	case RouteAffinity:
+		ranked := rendezvousRank(fn, cands)
+		for i, nd := range ranked {
+			if !c.overloaded(nd) {
+				return nd, i > 0
+			}
+		}
+		// All overloaded: shed to the least-loaded of the ranked set so the
+		// hot spot does not collapse a single node.
+		best := ranked[0]
+		for _, nd := range ranked[1:] {
+			if nd.inflight() < best.inflight() {
+				best = nd
+			}
+		}
+		return best, best != ranked[0]
+	default: // RouteRoundRobin
+		n := cands[c.rr%len(cands)]
+		c.rr++
+		return n, false
+	}
+}
+
+// overloaded reports whether a node should be skipped by affinity spill: no
+// free core means a routed arrival would queue for a full invocation's
+// remaining run time, which dwarfs the cold-start cost of running it on the
+// next node in the hash ranking (where the spilled function then builds
+// secondary warm state).
+func (c *Cluster) overloaded(n *node) bool {
+	return n.inflight() >= c.cfg.Cores
+}
+
+// rendezvousRank orders nodes by highest-random-weight hash for fn. Every
+// front-end computes the same ranking independently of fleet-change order,
+// and a node join/leave only moves the functions that hashed to it — the
+// property that keeps snapshot affinity stable while the autoscaler works.
+func rendezvousRank(fn string, nodes []*node) []*node {
+	type scored struct {
+		n *node
+		w uint64
+	}
+	s := make([]scored, len(nodes))
+	for i, nd := range nodes {
+		h := fnv.New64a()
+		h.Write([]byte(fn))
+		h.Write([]byte{'|'})
+		h.Write([]byte(nd.id))
+		s[i] = scored{nd, h.Sum64()}
+	}
+	// Insertion sort by weight desc, id asc on ties: node counts are small
+	// and the ranking must be deterministic.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && (s[j].w > s[j-1].w || (s[j].w == s[j-1].w && s[j].n.id < s[j-1].n.id)); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	out := make([]*node, len(s))
+	for i, sc := range s {
+		out[i] = sc.n
+	}
+	return out
+}

@@ -56,7 +56,7 @@ func TestTableCSVAndJSON(t *testing.T) {
 
 func TestIDsAndUnknown(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Fatalf("IDs() = %v", ids)
 	}
 	s := fastSuite()

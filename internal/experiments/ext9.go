@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"toss/internal/cluster"
+	"toss/internal/fleet"
+	"toss/internal/guest"
+	"toss/internal/par"
+	"toss/internal/sched"
+	"toss/internal/simtime"
+	"toss/internal/workload"
+)
+
+// ext9Funcs is the cluster workload: one latency-sensitive small function,
+// one mid-size, one large offload-heavy one. The fleet's hosts are sized
+// from the measured profiles so that no single node can keep the whole set
+// warm — cold-start placement is what the router sweep measures.
+var ext9Funcs = []string{"json_load_dump", "pyaes", "compress"}
+
+// ext9Rates is the offered fleet-wide arrival-rate ladder (invocations per
+// second of virtual time). Each cell walks it upward and reports the highest
+// rate whose p99 still meets the SLO.
+var ext9Rates = []int64{10, 15, 20, 30, 40, 60, 80, 120, 160, 240, 320}
+
+// ext9SLO is the p99 objective on latency inflation over a same-level warm
+// hit — queue delay, snapshot pull, setup, and the cold execution penalty
+// (demand faulting on a lazy DRAM restore), everything the fleet adds on
+// top of the function's intrinsic warm run time. A warm hit inflates by
+// ~0.5 ms, a TOSS cold start with a node-local snapshot by ~5-10 ms (the
+// paper's point: tiered restores make cold starts cheap), a snapshot pull
+// by ~25-35 ms, and a DRAM lazy-restore cold start by ~30-50 ms of demand
+// faults — so the objective tolerates a rare pull but is breached by
+// queueing, by routers that keep scattering cold starts, and by fleets too
+// small in warm capacity to avoid them. ext9Horizon is each run's arrival
+// horizon.
+const (
+	ext9SLO     = 50 * simtime.Millisecond
+	ext9Horizon = 30 * simtime.Second
+	// ext9Warmup excludes the initial fill from the percentile: every fleet
+	// must pull each snapshot once no matter how it routes, so "sustained"
+	// is judged on steady state, where pulls recur only if the router keeps
+	// scattering cold starts across nodes that evicted the snapshot.
+	ext9Warmup = 5 * simtime.Second
+)
+
+// ext9InflationP99 returns the p99 of per-invocation latency inflation over
+// a warm hit, across the steady-state window (arrivals past ext9Warmup).
+func ext9InflationP99(rep *cluster.Report, profiles map[string]cluster.FnProfile) simtime.Duration {
+	infl := make([]simtime.Duration, 0, len(rep.Records))
+	for _, rec := range rep.Records {
+		if rec.Arrival < ext9Warmup {
+			continue
+		}
+		warm := profiles[rec.Function].WarmExec[rec.Level]
+		infl = append(infl, rec.Latency()-warm)
+	}
+	if len(infl) == 0 {
+		return 0
+	}
+	sort.Slice(infl, func(i, j int) bool { return infl[i] < infl[j] })
+	return infl[int(0.99*float64(len(infl)-1))]
+}
+
+// ext9Hosts sizes one node's tier capacities from the measured warm
+// footprints: each node holds roughly three quarters of the function set
+// warm (so the fleet as a whole can, but any single node cannot), and the
+// equal-cost DRAM-only host converts the tiered host's slow-tier budget to
+// DRAM at the suite's price ratio — the paper's §I trade expressed as a
+// fleet purchase.
+func ext9Hosts(toss, dram map[string]cluster.FnProfile, slowPerFast float64) (tossHost, dramHost fleet.HostSpec) {
+	var fastSum, slowSum, fastMax, slowMax, dramMax int64
+	for _, fn := range ext9Funcs {
+		p := toss[fn]
+		f := p.FastPages * guest.PageSize
+		s := p.SlowPages * guest.PageSize
+		fastSum += f
+		slowSum += s
+		if f > fastMax {
+			fastMax = f
+		}
+		if s > slowMax {
+			slowMax = s
+		}
+		if d := dram[fn].FastPages * guest.PageSize; d > dramMax {
+			dramMax = d
+		}
+	}
+	tossHost = fleet.HostSpec{
+		FastBytes: max64(fastSum*3/4, fastMax),
+		SlowBytes: max64(slowSum*3/4, slowMax),
+	}
+	dramHost = fleet.HostSpec{
+		FastBytes: max64(tossHost.FastBytes+int64(slowPerFast*float64(tossHost.SlowBytes)), dramMax),
+	}
+	return tossHost, dramHost
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ext9Sustained walks the rate ladder and returns the highest offered rate
+// (inv/s) whose p99 meets the SLO, with that run's report. A nil report
+// means even the lowest rung missed the objective.
+func ext9Sustained(cfg cluster.Config, profiles map[string]cluster.FnProfile, proc workload.Process, seed int64) (int64, *cluster.Report, error) {
+	var bestRate int64
+	var best *cluster.Report
+	for _, rate := range ext9Rates {
+		arrivals, err := workload.Arrivals(workload.ArrivalsConfig{
+			Process:   proc,
+			Horizon:   ext9Horizon,
+			MeanIAT:   simtime.Second / simtime.Duration(rate),
+			Functions: ext9Funcs,
+			Seed:      seed,
+			// Softer crowds than the default 8x so the lowest rungs are
+			// servable at all — the sweep grades where each fleet collapses.
+			FlashFactor: 4,
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		cl, err := cluster.New(cfg, profiles)
+		if err != nil {
+			return 0, nil, err
+		}
+		rep, err := cl.Run(arrivals)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ext9InflationP99(rep, profiles) > ext9SLO {
+			break // offered load only grows up the ladder
+		}
+		bestRate, best = rate, rep
+	}
+	return bestRate, best, nil
+}
+
+// ExtClusterScaling sweeps fleet size x routing policy x arrival process
+// over the cluster simulator (internal/cluster) and reports the sustained
+// fleet-wide invocation rate at a p99 warm-hit-inflation SLO for a tiered
+// (TOSS) fleet versus an equal-cost DRAM-only fleet. Function costs are measured
+// once per mechanism through the single-host machinery (cluster.Profile);
+// every swept cell is then a pure, deterministic event-loop run, so the
+// table is byte-identical across runs and pool sizes.
+func ExtClusterScaling(s *Suite) (*Table, error) {
+	t := &Table{
+		ID: "ext9",
+		Title: fmt.Sprintf("Cluster scaling: sustained inv/s at p99 inflation <= %v, TOSS fleet vs equal-cost DRAM fleet",
+			ext9SLO.Std()),
+		Header: []string{"nodes", "router", "arrival", "toss inv/s", "toss p99 infl (ms)", "toss cold %",
+			"dram inv/s", "dram cold %", "toss/dram"},
+	}
+
+	// Measure once per mechanism; the sweep below only does arithmetic.
+	scfg := sched.DefaultConfig()
+	scfg.Core = s.Core
+	scfg.Mechanism = sched.MechTOSS
+	tossProfiles, err := cluster.Profile(scfg, ext9Funcs)
+	if err != nil {
+		return nil, err
+	}
+	scfg.Mechanism = sched.MechDRAM
+	dramProfiles, err := cluster.Profile(scfg, ext9Funcs)
+	if err != nil {
+		return nil, err
+	}
+	slowPerFast := s.Core.Cost.CostSlow / s.Core.Cost.CostFast
+	tossHost, dramHost := ext9Hosts(tossProfiles, dramProfiles, slowPerFast)
+
+	// The snapshot store holds ~70% of the set: a node's affinity share (its
+	// rendezvous-primary functions) fits, the full rotation a scattering
+	// router forces through every node does not — so rr re-pulls in steady
+	// state while affinity stops after the initial fill.
+	var snapSum, snapMax int64
+	for _, fn := range ext9Funcs {
+		snapSum += tossProfiles[fn].SnapshotBytes
+		if b := tossProfiles[fn].SnapshotBytes; b > snapMax {
+			snapMax = b
+		}
+	}
+	disk := max64(snapSum*7/10, snapMax)
+
+	baseConfig := func(hosts []fleet.HostSpec, router cluster.Policy) cluster.Config {
+		return cluster.Config{
+			Hosts:           hosts,
+			Cores:           16,
+			DiskBytes:       disk,
+			PullBytesPerSec: 2 << 30,
+			ResumeCost:      500 * simtime.Microsecond,
+			Router:          router,
+			Cost:            s.Core.Cost,
+			// No burn tracker: the SLO here is on warm-hit inflation, which
+			// ext9InflationP99 computes from the records directly.
+		}
+	}
+
+	type cell struct {
+		nodes  int
+		router cluster.Policy
+		proc   workload.Process
+	}
+	var cells []cell
+	for _, nodes := range []int{2, 4} {
+		for _, router := range cluster.Policies() {
+			for _, proc := range []workload.Process{workload.ProcPoisson, workload.ProcFlash} {
+				cells = append(cells, cell{nodes: nodes, router: router, proc: proc})
+			}
+		}
+	}
+	type result struct {
+		tossRate, dramRate int64
+		tossP99            float64
+		tossCold, dramCold float64
+	}
+	results, err := par.Map(s.Pool(), cells, func(_ int, c cell) (result, error) {
+		seed := s.BaseSeed*1000 + int64(c.proc) + 1
+		tossRate, tossRep, err := ext9Sustained(
+			baseConfig(tossHost.Hosts(c.nodes), c.router), tossProfiles, c.proc, seed)
+		if err != nil {
+			return result{}, err
+		}
+		dramRate, dramRep, err := ext9Sustained(
+			baseConfig(dramHost.Hosts(c.nodes), c.router), dramProfiles, c.proc, seed)
+		if err != nil {
+			return result{}, err
+		}
+		res := result{tossRate: tossRate, dramRate: dramRate}
+		if tossRep != nil {
+			res.tossP99 = float64(ext9InflationP99(tossRep, tossProfiles)) / float64(simtime.Millisecond)
+			res.tossCold = tossRep.ColdFraction() * 100
+		}
+		if dramRep != nil {
+			res.dramCold = dramRep.ColdFraction() * 100
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	byCell := make(map[cell]result, len(cells))
+	for i, c := range cells {
+		r := results[i]
+		byCell[c] = r
+		ratio := "inf"
+		if r.dramRate > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(r.tossRate)/float64(r.dramRate))
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", c.nodes),
+			c.router.String(),
+			c.proc.String(),
+			fmt.Sprintf("%d", r.tossRate),
+			fmt.Sprintf("%.1f", r.tossP99),
+			fmt.Sprintf("%.1f%%", r.tossCold),
+			fmt.Sprintf("%d", r.dramRate),
+			fmt.Sprintf("%.1f%%", r.dramCold),
+			ratio)
+	}
+
+	// Snapshot affinity must beat round-robin where cold starts dominate
+	// (flash crowds) — in sustained rate, or failing a strict rate win, in
+	// cold-start fraction at the shared rate — and the tiered fleet must
+	// sustain at least the equal-cost DRAM fleet's rate everywhere.
+	affinityHolds, tossHolds := true, true
+	for _, nodes := range []int{2, 4} {
+		rr := byCell[cell{nodes, cluster.RouteRoundRobin, workload.ProcFlash}]
+		aff := byCell[cell{nodes, cluster.RouteAffinity, workload.ProcFlash}]
+		switch {
+		case aff.tossRate < rr.tossRate:
+			affinityHolds = false
+			t.AddNote("WARNING: affinity sustains %d inv/s < rr's %d at %d nodes under flash arrivals",
+				aff.tossRate, rr.tossRate, nodes)
+		case aff.tossRate == rr.tossRate && aff.tossCold >= rr.tossCold:
+			affinityHolds = false
+			t.AddNote("WARNING: affinity ties rr at %d inv/s (%d nodes, flash) without a lower cold fraction (%.1f%% vs %.1f%%)",
+				aff.tossRate, nodes, aff.tossCold, rr.tossCold)
+		}
+	}
+	for i, c := range cells {
+		if results[i].tossRate < results[i].dramRate {
+			tossHolds = false
+			t.AddNote("WARNING: TOSS fleet sustains %d inv/s < equal-cost DRAM's %d (%d nodes, %s, %s)",
+				results[i].tossRate, results[i].dramRate, c.nodes, c.router, c.proc)
+		}
+	}
+	if affinityHolds {
+		t.AddNote("snapshot-affinity beats round-robin under cold-start-heavy flash arrivals at every fleet size (rate or, on rate ties, cold fraction)")
+	}
+	if tossHolds {
+		t.AddNote("the TOSS fleet sustains >= the DRAM fleet's rate in every cell at equal memory cost (ratio %.1f:1)",
+			s.Core.Cost.CostFast/s.Core.Cost.CostSlow)
+	}
+	t.AddNote("0 inv/s means even the lowest rung (%d inv/s) breached the objective in steady state", ext9Rates[0])
+	t.AddNote("hosts sized so one node keeps ~3/4 of the set warm; DRAM host converts the slow-tier budget to DRAM at the cost ratio")
+	return t, nil
+}

@@ -231,7 +231,7 @@ type Runner func(*Suite) (*Table, error)
 var registryOrder = []string{
 	"table1", "fig1", "fig2", "fig3", "fig5", "table2",
 	"fig6", "fig7", "fig8", "fig9", "sec6c3a", "sec6c3b",
-	"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
+	"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9",
 }
 
 var registry = map[string]Runner{
@@ -255,6 +255,7 @@ var registry = map[string]Runner{
 	"ext6":    ExtFaaSnapInflation,
 	"ext7":    ExtPackingDensity,
 	"ext8":    ExtFaultTolerance,
+	"ext9":    ExtClusterScaling,
 }
 
 // IDs returns all experiment identifiers in canonical order.

@@ -41,6 +41,35 @@ func (h HostSpec) Validate() error {
 	return nil
 }
 
+// Hosts returns n copies of the spec — a homogeneous fleet for the cluster
+// simulator.
+func (h HostSpec) Hosts(n int) []HostSpec {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]HostSpec, n)
+	for i := range out {
+		out[i] = h
+	}
+	return out
+}
+
+// ValidateFleet checks a (possibly heterogeneous) fleet: at least one host,
+// every spec individually valid. Mixed tiered/DRAM-only fleets are legal —
+// the cluster router is what has to cope with them — but a fleet where every
+// host lacks a slow tier and any host has one of zero DRAM is not.
+func ValidateFleet(hosts []HostSpec) error {
+	if len(hosts) == 0 {
+		return fmt.Errorf("fleet: empty fleet")
+	}
+	for i, h := range hosts {
+		if err := h.Validate(); err != nil {
+			return fmt.Errorf("fleet: host %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // VMFootprint is one warm microVM's resident memory per tier.
 type VMFootprint struct {
 	Function  string

@@ -122,3 +122,53 @@ func TestHostsNeededBoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHosts(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		want int
+	}{
+		{"zero", 0, 0},
+		{"negative", -3, 0},
+		{"one", 1, 1},
+		{"fleet", 5, 5},
+	}
+	for _, tc := range cases {
+		got := PaperHost().Hosts(tc.n)
+		if len(got) != tc.want {
+			t.Errorf("%s: Hosts(%d) returned %d specs, want %d", tc.name, tc.n, len(got), tc.want)
+			continue
+		}
+		for i, h := range got {
+			if h != PaperHost() {
+				t.Errorf("%s: Hosts(%d)[%d] = %+v, want the receiver spec", tc.name, tc.n, i, h)
+			}
+		}
+	}
+}
+
+func TestValidateFleet(t *testing.T) {
+	cases := []struct {
+		name  string
+		hosts []HostSpec
+		ok    bool
+	}{
+		{"empty", nil, false},
+		{"single paper host", PaperHost().Hosts(1), true},
+		{"homogeneous tiered", PaperHost().Hosts(4), true},
+		{"homogeneous dram-only", DRAMOnlyHost().Hosts(3), true},
+		{"mixed tiered and dram-only", []HostSpec{PaperHost(), DRAMOnlyHost(), PaperHost()}, true},
+		{"one host without DRAM", []HostSpec{PaperHost(), {FastBytes: 0, SlowBytes: 768 << 30}}, false},
+		{"one host with negative slow tier", []HostSpec{{FastBytes: 96 << 30, SlowBytes: -1}, PaperHost()}, false},
+	}
+	for _, tc := range cases {
+		err := ValidateFleet(tc.hosts)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

@@ -33,6 +33,9 @@ type mechanism interface {
 	prewarm() (simtime.Duration, error)
 	// footprint returns the warm VM's (fastPages, slowPages).
 	footprint() (int64, int64)
+	// ready reports the mechanism reached its steady state (see
+	// Invoker.Ready).
+	ready() bool
 }
 
 // newMechanism builds the mechanism for one function.
@@ -145,6 +148,8 @@ func (m *tossMech) prewarm() (simtime.Duration, error) {
 	return m.cfg.Core.VM.VMLoadBase + m.cfg.Core.VM.MmapCost, nil
 }
 
+func (m *tossMech) ready() bool { return m.ctrl.Phase() == core.PhaseTiered }
+
 func (m *tossMech) footprint() (int64, int64) {
 	if ts := m.ctrl.Tiered(); ts != nil {
 		return int64(len(ts.FastMem.Pages)), int64(len(ts.SlowMem.Pages))
@@ -185,6 +190,8 @@ func (m *reapMech) prewarm() (simtime.Duration, error) {
 	return vm.SetupTime(), nil
 }
 
+func (m *reapMech) ready() bool { return m.mgr.HasSnapshot() }
+
 func (m *reapMech) footprint() (int64, int64) {
 	// REAP keeps everything in DRAM: WS plus faulted pages; approximate
 	// with the recorded working set.
@@ -224,6 +231,8 @@ func (m *faasnapMech) prewarm() (simtime.Duration, error) {
 	vm := microvm.RestoreREAP(m.cfg.Core.VM, m.layout, m.mgr.Snapshot(), m.mgr.WorkingSet(), 1)
 	return vm.SetupTime(), nil
 }
+
+func (m *faasnapMech) ready() bool { return m.mgr.HasSnapshot() }
 
 func (m *faasnapMech) footprint() (int64, int64) {
 	ws := m.mgr.WorkingSetPages()
@@ -280,6 +289,8 @@ func (m *dramMech) invokeWarm(a trace.Arrival, conc int) (simtime.Duration, bool
 func (m *dramMech) prewarm() (simtime.Duration, error) {
 	return m.cfg.Core.VM.VMLoadBase + m.cfg.Core.VM.MmapCost, nil
 }
+
+func (m *dramMech) ready() bool { return m.snap != nil }
 
 func (m *dramMech) footprint() (int64, int64) {
 	if m.snap != nil {

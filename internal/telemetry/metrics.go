@@ -595,6 +595,16 @@ const (
 	MetricRecoveryLatency = "platform.recovery_ns"
 	MetricBreakerTrips    = "sched.breaker_trips"
 	MetricEvictStorms     = "sched.evict_storms"
+	// cluster
+	MetricClusterNodes     = "cluster.nodes"
+	MetricRouterDecisions  = "cluster.router_decisions"
+	MetricRouterAffinity   = "cluster.router_affinity_hits"
+	MetricRouterSpills     = "cluster.router_spills"
+	MetricSnapshotPulls    = "cluster.snapshot_pulls"
+	MetricClusterScaleUps  = "cluster.scale_ups"
+	MetricClusterScaleDown = "cluster.scale_downs"
+	MetricClusterColdStart = "cluster.cold_starts"
+	MetricClusterWarmStart = "cluster.warm_starts"
 )
 
 // TierUtilization derives per-tier memory-time shares of total execution

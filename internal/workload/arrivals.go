@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"toss/internal/simtime"
+)
+
+// This file is the cluster-scale arrival-process generator family. Unlike
+// internal/trace, which shapes per-function traffic for a single host (each
+// FunctionMix is its own process), these generators model the *aggregate*
+// request stream a fleet front-end sees: one process for the whole cluster,
+// with functions sampled per request. The three shapes mirror what
+// production serverless front-ends route — steady Poisson, diurnal day
+// curves, and flash crowds where a single function's traffic multiplies for
+// a short episode (the cold-start-heavy case snapshot-affinity routing is
+// built for).
+
+// Process classifies a cluster-level aggregate arrival process.
+type Process int
+
+const (
+	// ProcPoisson is a homogeneous Poisson process at the aggregate rate.
+	ProcPoisson Process = iota
+	// ProcDiurnal modulates a Poisson process with a sinusoidal day curve
+	// whose period is half the horizon (every run sees full cycles).
+	ProcDiurnal
+	// ProcFlash overlays flash-crowd episodes on a Poisson baseline: for
+	// short windows the aggregate rate multiplies and the extra traffic
+	// concentrates on one hot function, so a fleet suddenly needs many
+	// copies of the same snapshot at once.
+	ProcFlash
+)
+
+// String names the process.
+func (p Process) String() string {
+	switch p {
+	case ProcPoisson:
+		return "poisson"
+	case ProcDiurnal:
+		return "diurnal"
+	case ProcFlash:
+		return "flash"
+	default:
+		return fmt.Sprintf("Process(%d)", int(p))
+	}
+}
+
+// Processes returns every generator in canonical order.
+func Processes() []Process { return []Process{ProcPoisson, ProcDiurnal, ProcFlash} }
+
+// ParseProcess maps a CLI name to a Process.
+func ParseProcess(s string) (Process, error) {
+	for _, p := range Processes() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown arrival process %q (want poisson, diurnal, or flash)", s)
+}
+
+// ArrivalSpec is one cluster-level invocation request: which function, which
+// input level, and the invocation seed, at a point in virtual time.
+type ArrivalSpec struct {
+	At       simtime.Duration
+	Function string
+	Level    Level
+	Seed     int64
+}
+
+// ArrivalsConfig describes one generated schedule.
+type ArrivalsConfig struct {
+	// Process selects the generator.
+	Process Process
+	// Horizon is the schedule duration in virtual time.
+	Horizon simtime.Duration
+	// MeanIAT is the aggregate mean inter-arrival time across all
+	// functions (1/MeanIAT is the offered cluster-wide request rate).
+	MeanIAT simtime.Duration
+	// Functions lists the candidate functions; each arrival samples one.
+	Functions []string
+	// Weights optionally biases the function sample (uniform when empty;
+	// must match len(Functions) otherwise).
+	Weights []float64
+	// Seed drives all randomness. Same config + same seed => byte-identical
+	// schedule (a golden-file test pins this).
+	Seed int64
+	// FlashFactor multiplies the aggregate rate inside a flash episode
+	// (ProcFlash only; default 8).
+	FlashFactor float64
+	// FlashHotShare is the fraction of episode traffic concentrated on the
+	// episode's hot function (ProcFlash only; default 0.7).
+	FlashHotShare float64
+}
+
+// Validate checks the configuration.
+func (c ArrivalsConfig) Validate() error {
+	if c.Horizon <= 0 {
+		return fmt.Errorf("workload: non-positive arrival horizon %v", c.Horizon)
+	}
+	if c.MeanIAT <= 0 {
+		return fmt.Errorf("workload: non-positive mean IAT %v", c.MeanIAT)
+	}
+	if len(c.Functions) == 0 {
+		return fmt.Errorf("workload: no functions in arrival config")
+	}
+	for i, fn := range c.Functions {
+		if _, ok := ByName(fn); !ok {
+			return fmt.Errorf("workload: arrivals: unknown function %q (index %d)", fn, i)
+		}
+	}
+	if len(c.Weights) > 0 && len(c.Weights) != len(c.Functions) {
+		return fmt.Errorf("workload: arrivals: %d weights for %d functions", len(c.Weights), len(c.Functions))
+	}
+	for i, w := range c.Weights {
+		if w < 0 {
+			return fmt.Errorf("workload: arrivals: negative weight at index %d", i)
+		}
+	}
+	if c.FlashFactor < 0 || c.FlashHotShare < 0 || c.FlashHotShare > 1 {
+		return fmt.Errorf("workload: arrivals: invalid flash parameters (factor %v, hot share %v)", c.FlashFactor, c.FlashHotShare)
+	}
+	return nil
+}
+
+// Arrivals generates the time-ordered schedule. Generation is
+// single-threaded and consumes one seeded rng stream in a fixed order, so
+// the output is byte-identical across runs and across whatever worker pool
+// the caller happens to run inside.
+func Arrivals(c ArrivalsConfig) ([]ArrivalSpec, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	var out []ArrivalSpec
+	switch c.Process {
+	case ProcDiurnal:
+		// Base Poisson at 2x the average rate, thinned by (1+sin)/2 over a
+		// day of Horizon/2.
+		day := float64(c.Horizon) / 2
+		t := simtime.Duration(0)
+		for {
+			t += expIAT(c.MeanIAT/2, rng)
+			if t >= c.Horizon {
+				break
+			}
+			keep := (1 + math.Sin(2*math.Pi*float64(t)/day)) / 2
+			if rng.Float64() < keep {
+				out = append(out, c.sample(t, -1, rng))
+			}
+		}
+	case ProcFlash:
+		out = c.flash(rng)
+	default: // ProcPoisson
+		t := simtime.Duration(0)
+		for {
+			t += expIAT(c.MeanIAT, rng)
+			if t >= c.Horizon {
+				break
+			}
+			out = append(out, c.sample(t, -1, rng))
+		}
+	}
+	// Stable sort on time only: equal-time arrivals keep generation order,
+	// which is itself deterministic.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}
+
+// flash draws the Poisson baseline plus flash-crowd episodes. Episodes tile
+// the horizon at ~Horizon/6 spacing, each ~Horizon/24 long with jitter, and
+// each picks its own hot function; inside an episode an extra Poisson
+// process at (FlashFactor-1)x the base rate fires, FlashHotShare of it on
+// the hot function.
+func (c ArrivalsConfig) flash(rng *rand.Rand) []ArrivalSpec {
+	factor := c.FlashFactor
+	if factor <= 0 {
+		factor = 8
+	}
+	hotShare := c.FlashHotShare
+	if hotShare == 0 {
+		hotShare = 0.7
+	}
+	var out []ArrivalSpec
+	// Baseline.
+	t := simtime.Duration(0)
+	for {
+		t += expIAT(c.MeanIAT, rng)
+		if t >= c.Horizon {
+			break
+		}
+		out = append(out, c.sample(t, -1, rng))
+	}
+	// Episodes.
+	spacing := c.Horizon / 6
+	length := c.Horizon / 24
+	for start := spacing / 2; start < c.Horizon; start += spacing {
+		begin := start + simtime.Duration(float64(spacing/4)*(rng.Float64()*2-1))
+		end := begin + simtime.Duration(float64(length)*(0.5+rng.Float64()))
+		if end > c.Horizon {
+			end = c.Horizon
+		}
+		hot := rng.Intn(len(c.Functions))
+		extraIAT := simtime.Duration(float64(c.MeanIAT) / (factor - 1))
+		et := begin
+		for {
+			et += expIAT(extraIAT, rng)
+			if et >= end {
+				break
+			}
+			fn := hot
+			if rng.Float64() >= hotShare {
+				fn = -1 // fall back to the weighted sample
+			}
+			out = append(out, c.sample(et, fn, rng))
+		}
+	}
+	return out
+}
+
+// sample draws one arrival at time t. fnIdx >= 0 pins the function;
+// otherwise it is sampled from the weights (uniform when empty).
+func (c ArrivalsConfig) sample(t simtime.Duration, fnIdx int, rng *rand.Rand) ArrivalSpec {
+	if fnIdx < 0 {
+		fnIdx = c.pickFunction(rng)
+	}
+	return ArrivalSpec{
+		At:       t,
+		Function: c.Functions[fnIdx],
+		Level:    Level(rng.Intn(len(Levels))),
+		Seed:     rng.Int63n(1 << 40),
+	}
+}
+
+// pickFunction samples a function index from the weights.
+func (c ArrivalsConfig) pickFunction(rng *rand.Rand) int {
+	if len(c.Weights) == 0 {
+		return rng.Intn(len(c.Functions))
+	}
+	var total float64
+	for _, w := range c.Weights {
+		total += w
+	}
+	if total == 0 {
+		return rng.Intn(len(c.Functions))
+	}
+	x := rng.Float64() * total
+	for i, w := range c.Weights {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(c.Functions) - 1
+}
+
+// expIAT draws an exponential inter-arrival time with the given mean,
+// clamped to at least one nanosecond so processes always progress.
+func expIAT(mean simtime.Duration, rng *rand.Rand) simtime.Duration {
+	d := simtime.Duration(rng.ExpFloat64() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

@@ -81,6 +81,9 @@ const (
 	// SegProfilingDAMON is the DAMON profiling overhead applied to execution
 	// while a function is in the profiling phase.
 	SegProfilingDAMON = "profiling.damon"
+	// SegSnapshotPull is fetching a snapshot onto a node's local store
+	// before a cold restore (cluster routing misses snapshot affinity).
+	SegSnapshotPull = "restore.pull"
 )
 
 // Mark identifiers: named counters that ride on a budget without entering the
@@ -99,6 +102,13 @@ const (
 	// MarkBreakerVeto counts keep-alive admissions vetoed by an open
 	// circuit breaker.
 	MarkBreakerVeto = "breaker.veto"
+	// MarkScaleUp / MarkScaleDown count autoscaler fleet resizes attached
+	// to the first invocation budget sealed after the event.
+	MarkScaleUp   = "cluster.scale.up"
+	MarkScaleDown = "cluster.scale.down"
+	// MarkRouterSpill counts affinity routes diverted off the hash-primary
+	// node because it was overloaded.
+	MarkRouterSpill = "cluster.router.spill"
 )
 
 // Segment is one attributed slice of an invocation's latency.

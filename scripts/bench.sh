@@ -39,8 +39,10 @@ if ! cmp -s "$tmp/serial.txt" "$tmp/parallel.txt"; then
 fi
 echo "serial ${serial}s, parallel(${workers}) ${par}s, outputs byte-identical" >&2
 
-# Per-experiment wall-clock of every ext experiment (ext8 doubles as the
-# fault machinery's end-to-end cost benchmark and keeps its own field).
+# Per-experiment wall-clock of every ext experiment, ext9 included (ext8
+# doubles as the fault machinery's end-to-end cost benchmark and keeps its
+# own field; ext9 times the cluster simulator end to end, profiling plus the
+# full fleet x router x arrival ladder sweep).
 ext_flags=()
 ext8=0
 for id in $("$tmp/tossctl" list | grep '^ext'); do
