@@ -2,12 +2,16 @@ package main
 
 import (
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"toss/internal/cluster"
 	"toss/internal/fleet"
+	"toss/internal/fleetobs"
+	"toss/internal/obs"
 	"toss/internal/platform"
 	"toss/internal/sched"
 	"toss/internal/simtime"
@@ -31,6 +35,14 @@ type clusterOpts struct {
 	sloWindow  time.Duration
 	explain    bool
 	explainTop int
+	// Fleet observability surfaces (internal/fleetobs): the ASCII
+	// dashboard, the decision log, the per-node Chrome trace, and the live
+	// HTTP node grid all render from one recorder attached to the run.
+	fleetview      bool
+	decisionLog    string
+	fleetTrace     string
+	httpAddr       string
+	recordInterval time.Duration
 }
 
 // runCluster profiles the functions once through the single-host machinery,
@@ -101,9 +113,14 @@ func runCluster(o clusterOpts) int {
 		ccfg.Autoscale.Enabled = true
 	}
 	var xcol *xray.Collector
-	if o.explain || o.explainTop > 0 {
+	if o.explain || o.explainTop > 0 || o.httpAddr != "" {
 		xcol = xray.NewCollector()
 		ccfg.XRay = xcol
+	}
+	var fr *fleetobs.Recorder
+	if o.fleetview || o.decisionLog != "" || o.fleetTrace != "" || o.httpAddr != "" {
+		fr = fleetobs.New(fleetobs.Config{})
+		ccfg.FleetObs = fr
 	}
 
 	cl, err := cluster.New(ccfg, profiles)
@@ -121,8 +138,9 @@ func runCluster(o clusterOpts) int {
 
 	printClusterReport(rep, o)
 
-	if xcol != nil {
-		budgets := xcol.Drain()
+	if xcol != nil && (o.explain || o.explainTop > 0) {
+		// Snapshot, not Drain: -http serves the same budgets afterwards.
+		budgets := xcol.Snapshot()
 		if o.explain {
 			agg := xray.Aggregate("cluster", budgets)
 			fmt.Printf("\nattribution (%d budgets, mean per record):\n", agg.Records)
@@ -142,6 +160,49 @@ func runCluster(o clusterOpts) int {
 			for _, b := range slowest {
 				fmt.Print(xray.Waterfall(b, 32))
 			}
+		}
+	}
+
+	if fr != nil {
+		if o.fleetview {
+			fmt.Printf("\n%s", fleetobs.RenderFleet(fr.View(), 32))
+		}
+		if o.decisionLog != "" {
+			if err := writeExport(o.decisionLog, func(f *os.File) error {
+				return fr.WriteDecisionLog(f)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "faasim:", err)
+				return 1
+			}
+			fmt.Printf("fleet: wrote decision log to %s\n", o.decisionLog)
+		}
+		if o.fleetTrace != "" {
+			if err := writeExport(o.fleetTrace, func(f *os.File) error {
+				return fr.WriteChromeTrace(f)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "faasim:", err)
+				return 1
+			}
+			fmt.Printf("fleet: wrote Chrome trace to %s\n", o.fleetTrace)
+		}
+	}
+
+	if o.httpAddr != "" {
+		// Serve the dashboard over the finished run: the node grid renders
+		// from the fleet recorder, the /xray panel from the drained budgets.
+		rec := obs.New(obs.Config{Interval: simtime.FromStd(o.recordInterval)})
+		rec.SetFleet(fr)
+		if xcol != nil {
+			rec.SetXRay(xcol)
+		}
+		display := o.httpAddr
+		if strings.HasPrefix(display, ":") {
+			display = "localhost" + display
+		}
+		fmt.Printf("\nserving fleet dashboard on http://%s/ (fleet, fleet.json, xray, healthz)\n", display)
+		if err := http.ListenAndServe(o.httpAddr, rec.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, "faasim:", err)
+			return 1
 		}
 	}
 	return 0
@@ -195,8 +256,16 @@ func printClusterReport(rep *cluster.Report, o clusterOpts) {
 			ns.Busy.Std().Round(time.Millisecond).String(), ns.Final)
 	}
 
-	fmt.Printf("\nrouter: %d decisions (%d affinity hits, %d spills); snapshot pulls %d (%s)\n",
-		rep.Router.Decisions, rep.Router.AffinityHits, rep.Router.Spills,
+	if len(rep.Router.PerNode) > 0 {
+		fmt.Printf("\n%-6s %10s %10s %8s %8s\n", "node", "decisions", "affinity", "spills", "sheds")
+		for _, pn := range rep.Router.PerNode {
+			fmt.Printf("%-6s %10d %10d %8d %8d\n",
+				pn.Node, pn.Decisions, pn.AffinityHits, pn.Spills, pn.Sheds)
+		}
+	}
+
+	fmt.Printf("\nrouter: %d decisions (%d affinity hits, %d spills, %d sheds); snapshot pulls %d (%s)\n",
+		rep.Router.Decisions, rep.Router.AffinityHits, rep.Router.Spills, rep.Router.Sheds,
 		rep.Pulls, rep.PullTime.Std().Round(time.Millisecond))
 	fmt.Printf("fleet: peak %d nodes, final %d, %d scale events; cold starts %.1f%%; %.1f inv/s over %s\n",
 		rep.PeakNodes, rep.FinalNodes, len(rep.ScaleEvents),

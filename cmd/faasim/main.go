@@ -31,7 +31,16 @@
 // -mean-iat), and replays it through a fleet of N modeled nodes behind the
 // chosen -router (rr, least, or affinity) with an optional -autoscale.
 // Cluster mode is a serial event loop and excludes the replay-only surfaces
-// (-trace, -http, -fault-rate, ...); -slo and -explain work in both modes.
+// (-trace, -fault-rate, ...); -slo, -explain, and -http work in both modes.
+//
+// Cluster runs are fully explainable: -fleetview prints the ASCII fleet
+// dashboard (per-node utilization heat, queue depths, tier occupancy, p99);
+// -decision-log writes every routing decision (chosen node, reason,
+// candidate ranking) and autoscaler action as JSON lines; -fleet-trace
+// writes the same trace as a Chrome trace_event file with one track per
+// node; -http serves the node grid live at /fleet and /fleet.json. All four
+// render from the same virtual-time recorder (internal/fleetobs), so the
+// artifacts are byte-deterministic for a given flag set.
 //
 // Usage:
 //
@@ -42,6 +51,7 @@
 //	       [-record-interval 100ms] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	       [-nodes N] [-router rr|least|affinity] [-arrival poisson|diurnal|flash]
 //	       [-horizon 60s] [-mean-iat 100ms] [-autoscale]
+//	       [-fleetview] [-decision-log out.jsonl] [-fleet-trace out.json]
 package main
 
 import (
@@ -90,6 +100,9 @@ func main() {
 	horizon := flag.Duration("horizon", 60*time.Second, "cluster arrival horizon in virtual time (with -nodes)")
 	meanIAT := flag.Duration("mean-iat", 100*time.Millisecond, "cluster mean inter-arrival time (with -nodes)")
 	autoscale := flag.Bool("autoscale", false, "enable the cluster autoscaler (with -nodes; fleet may grow to 4x)")
+	fleetview := flag.Bool("fleetview", false, "print the ASCII fleet dashboard after the cluster run (with -nodes)")
+	decisionLog := flag.String("decision-log", "", "write the cluster run's routing/scaling decisions as JSON lines to this `file` (with -nodes)")
+	fleetTrace := flag.String("fleet-trace", "", "write the cluster run's decision trace as a Chrome trace_event `file`, one track per node (with -nodes)")
 	explain := flag.Bool("explain", false, "print per-function latency attribution waterfalls after the replay")
 	explainTop := flag.Int("explain-top", 0, "print full attribution waterfalls for the N slowest invocations")
 	slo := flag.Duration("slo", 0, "latency objective; reports SLO burn (violations, burn rate, peak windowed burn) after the replay")
@@ -147,12 +160,14 @@ func main() {
 	clusterOnly := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "router", "arrival", "horizon", "mean-iat", "autoscale":
+		case "router", "arrival", "horizon", "mean-iat", "autoscale",
+			"fleetview", "decision-log", "fleet-trace":
 			clusterOnly["-"+f.Name] = true
 		}
 	})
 	if *nodes <= 0 {
-		for _, name := range []string{"-router", "-arrival", "-horizon", "-mean-iat", "-autoscale"} {
+		for _, name := range []string{"-router", "-arrival", "-horizon", "-mean-iat", "-autoscale",
+			"-fleetview", "-decision-log", "-fleet-trace"} {
 			if clusterOnly[name] {
 				fmt.Fprintln(os.Stderr, cliutil.Requires("faasim", name, "-nodes",
 					"cluster mode routes through the fleet simulator"))
@@ -160,13 +175,14 @@ func main() {
 			}
 		}
 	} else {
+		// -http is NOT in this list: cluster mode serves the dashboard too
+		// (node grid at /fleet, attribution at /xray when -explain is on).
 		for _, conflict := range []struct {
 			set  bool
 			name string
 		}{
 			{*traceOut != "", "-trace"},
 			{*flame, "-flame"},
-			{*httpAddr != "", "-http"},
 			{*promOut != "", "-prom"},
 			{*csvOut != "", "-csv"},
 			{*heatmap, "-heatmap"},
@@ -192,20 +208,25 @@ func main() {
 			}
 		}
 		os.Exit(runCluster(clusterOpts{
-			nodes:      *nodes,
-			router:     *router,
-			arrival:    *arrival,
-			horizon:    *horizon,
-			meanIAT:    *meanIAT,
-			autoscale:  *autoscale,
-			mode:       mode,
-			window:     *window,
-			seed:       *seed,
-			functions:  names,
-			slo:        *slo,
-			sloWindow:  *sloWindow,
-			explain:    *explain,
-			explainTop: *explainTop,
+			nodes:          *nodes,
+			router:         *router,
+			arrival:        *arrival,
+			horizon:        *horizon,
+			meanIAT:        *meanIAT,
+			autoscale:      *autoscale,
+			mode:           mode,
+			window:         *window,
+			seed:           *seed,
+			functions:      names,
+			slo:            *slo,
+			sloWindow:      *sloWindow,
+			explain:        *explain,
+			explainTop:     *explainTop,
+			fleetview:      *fleetview,
+			decisionLog:    *decisionLog,
+			fleetTrace:     *fleetTrace,
+			httpAddr:       *httpAddr,
+			recordInterval: *recordInterval,
 		}))
 	}
 

@@ -22,6 +22,12 @@
 // which compares two dumps (or two scripts/benchjson reports) and names the
 // segment that regressed. Attribution is parallel-safe: the dump is
 // byte-identical for any -parallel value.
+//
+// -fleetlog <out.jsonl> collects the cluster experiments' fleet decision
+// traces (internal/fleetobs): every routing decision with its candidate
+// ranking and every autoscaler action of each swept cell's best sustained
+// run, as JSON lines tagged with the cell name. Like the attribution dump,
+// the log is byte-identical for any -parallel value. Composes with -xray.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"toss/internal/cliutil"
 	"toss/internal/experiments"
 	"toss/internal/fault"
+	"toss/internal/fleetobs"
 	"toss/internal/telemetry"
 	"toss/internal/xray"
 )
@@ -58,6 +65,7 @@ func run() int {
 	faults := flag.String("faults", "", "JSON fault plan injected into every experiment (see FAULTS.md; forces -parallel 1)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker pool size (1 = serial; output is identical either way)")
 	xrayOut := flag.String("xray", "", "write per-experiment attribution budgets (JSON) to this `file`; compare runs with tossctl diff")
+	fleetLog := flag.String("fleetlog", "", "write the cluster experiments' fleet decision logs (JSON lines, one event per routing/scaling decision) to this `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = func() {
@@ -176,13 +184,20 @@ func run() int {
 		}
 	}
 
+	if *fleetLog != "" {
+		suite.FleetSink = fleetobs.NewSink()
+	}
+
 	if *xrayOut != "" {
 		if met != nil {
 			fmt.Fprintln(os.Stderr, cliutil.MutuallyExclusive("tossctl", "-xray", "-metrics",
 				"both re-shape the per-experiment run loop"))
 			return 2
 		}
-		return runXRay(suite, ids, *xrayOut, *timing, render)
+		if code := runXRay(suite, ids, *xrayOut, *timing, render); code != 0 {
+			return code
+		}
+		return writeFleetLog(suite, *fleetLog)
 	}
 
 	if met != nil {
@@ -198,7 +213,7 @@ func run() int {
 			fmt.Println()
 			met.Reset()
 		}
-		return 0
+		return writeFleetLog(suite, *fleetLog)
 	}
 
 	start := time.Now()
@@ -222,6 +237,30 @@ func run() int {
 		fmt.Printf("[%d experiments took %v over %d workers]\n",
 			len(timed), time.Since(start).Round(time.Millisecond), suite.Pool().Workers())
 	}
+	return writeFleetLog(suite, *fleetLog)
+}
+
+// writeFleetLog writes the suite's folded fleet decision log when -fleetlog
+// asked for one. The log is byte-identical for any -parallel value: the sink
+// sorts cells by name and each cell's trace comes from a deterministic
+// event-loop run.
+func writeFleetLog(suite *experiments.Suite, path string) int {
+	if path == "" {
+		return 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tossctl:", err)
+		return 1
+	}
+	defer f.Close()
+	n, err := suite.FleetSink.WriteTo(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tossctl:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "tossctl: wrote fleet decision log (%d cells, %d bytes) to %s\n",
+		suite.FleetSink.Len(), n, path)
 	return 0
 }
 

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"toss/internal/fleetobs"
 	"toss/internal/simtime"
 	"toss/internal/telemetry"
 )
@@ -151,6 +152,9 @@ func (c *Cluster) recordScale(action string, n *node, util, burn float64) {
 	}
 	ev := ScaleEvent{At: c.now, Action: action, Node: n.id, Util: util, Burn: burn, Fleet: before}
 	c.report.ScaleEvents = append(c.report.ScaleEvents, ev)
+	c.cfg.FleetObs.ScaleAction(fleetobs.Scale{
+		At: c.now, Action: action, Node: n.id, Util: util, Burn: burn, Fleet: before,
+	})
 	if m := c.cfg.Metrics; m != nil {
 		if action == "up" {
 			m.Counter(telemetry.MetricClusterScaleUps).Add(1)

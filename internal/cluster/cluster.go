@@ -20,6 +20,7 @@ import (
 
 	"toss/internal/costmodel"
 	"toss/internal/fleet"
+	"toss/internal/fleetobs"
 	"toss/internal/guest"
 	"toss/internal/keepalive"
 	"toss/internal/obs"
@@ -56,11 +57,29 @@ type Config struct {
 	BurnWindow simtime.Duration
 	// Autoscale configures the virtual-time autoscaler.
 	Autoscale Autoscaler
+	// DecideCost models the front end as a serial router that spends this
+	// long on every routing decision: arrivals queue when decisions back
+	// up, and both waits land in the invocation's budget (router.queue,
+	// router.decide) and its end-to-end latency. Zero (the default) keeps
+	// the front end instantaneous, byte-identical to the pre-DecideCost
+	// model.
+	DecideCost simtime.Duration
 
 	// XRay, when set, collects one budget per invocation labeled
-	// "<fn>@<node>/cluster" with queue/pull/setup/exec segments and
+	// "<fn>@<node>/cluster[/<XRayTag>]" with causally ordered
+	// router.queue / router.decide / snapshot.pull / node.queue / exec.*
+	// segments that sum to the record's end-to-end latency, plus
 	// router/autoscaler marks.
 	XRay *xray.Collector
+	// XRayTag, when non-empty, suffixes every budget label so dumps from
+	// different fleet shapes (node count, policy, arrival process) diff as
+	// distinct cells in tossctl diff.
+	XRayTag string
+	// FleetObs, when set, receives the run's decision trace — every
+	// routing decision with its candidate ranking, every autoscaler
+	// action with its triggering signals — plus node-grid samples on the
+	// recorder's virtual-time cadence and per-invocation outcomes.
+	FleetObs *fleetobs.Recorder
 	// Metrics, when set, receives cluster.* counters and gauges.
 	Metrics *telemetry.Metrics
 	// Recorder, when set, gets per-node placement rows ("<fn>@<node>") and
@@ -137,6 +156,13 @@ type node struct {
 type queued struct {
 	a   workload.ArrivalSpec
 	enq simtime.Duration
+	// rq / decide are the front-end segments the arrival already paid
+	// before reaching the node; route is the routing reason
+	// (fleetobs.Reason*). All ride to dispatch so the Record and its
+	// budget carry them.
+	rq     simtime.Duration
+	decide simtime.Duration
+	route  string
 }
 
 // inflight is the node's outstanding work: running plus queued invocations.
@@ -152,6 +178,14 @@ type Record struct {
 	// per-level cost arrays, e.g. for computing inflation over a warm hit).
 	Level   int
 	Arrival simtime.Duration
+	// Route is the routing reason (fleetobs.Reason*: rr, least, affinity,
+	// spill, shed).
+	Route string
+	// RouterQueue is time waiting for the front-end router itself and
+	// Decide the routing-decision cost; both are zero unless
+	// Config.DecideCost models a non-instant front end.
+	RouterQueue simtime.Duration
+	Decide      simtime.Duration
 	// QueueDelay is time waiting for a core on the routed node.
 	QueueDelay simtime.Duration
 	// Pull is snapshot-fetch time on a cold start at a node without the
@@ -163,7 +197,9 @@ type Record struct {
 }
 
 // Latency is the end-to-end response time.
-func (r Record) Latency() simtime.Duration { return r.QueueDelay + r.Pull + r.Setup + r.Exec }
+func (r Record) Latency() simtime.Duration {
+	return r.RouterQueue + r.Decide + r.QueueDelay + r.Pull + r.Setup + r.Exec
+}
 
 // NodeStats summarizes one node's run.
 type NodeStats struct {
@@ -243,12 +279,18 @@ type event struct {
 	// latency rides on completions so the burn tracker is fed in
 	// completion-time order (its Record contract).
 	latency simtime.Duration
+	// rq rides on evRouted: time the arrival waited for the front-end
+	// router before its decision started.
+	rq simtime.Duration
 }
 
 type eventKind int
 
 const (
 	evArrival eventKind = iota
+	// evRouted is an arrival whose routing decision just completed (only
+	// used when Config.DecideCost models a non-instant front end).
+	evRouted
 	evCompletion
 	evScaleTick
 )
@@ -295,6 +337,12 @@ type Cluster struct {
 	lastTotal, lastBad int64
 	// pending scale marks attach to the next sealed xray budget.
 	pendingUp, pendingDown int64
+
+	// routerFree is when the serial front-end router finishes its current
+	// decision (only advances when cfg.DecideCost > 0).
+	routerFree simtime.Duration
+	// routerByNode accumulates per-node router counters for the report.
+	routerByNode map[string]*NodeRouterStats
 }
 
 // New builds a cluster from measured function profiles (see Profile).
@@ -306,7 +354,7 @@ func New(cfg Config, profiles map[string]FnProfile) (*Cluster, error) {
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("cluster: no function profiles")
 	}
-	c := &Cluster{cfg: cfg, profiles: profiles}
+	c := &Cluster{cfg: cfg, profiles: profiles, routerByNode: make(map[string]*NodeRouterStats)}
 	for _, h := range cfg.Hosts {
 		c.addNode(h)
 	}
@@ -388,13 +436,21 @@ func (c *Cluster) Run(arrivals []workload.ArrivalSpec) (*Report, error) {
 		c.now = e.at
 		switch e.kind {
 		case evArrival:
-			n, spilled := c.route(e.a.Function)
-			c.countRoute(n, e.a.Function, spilled)
-			if n.free == 0 {
-				n.waiting = append(n.waiting, queued{a: e.a, enq: c.now})
-			} else {
-				c.dispatch(n, e.a, c.now)
+			if c.cfg.DecideCost > 0 {
+				// Serial front end: the decision starts when the router
+				// frees up and the arrival lands on its node when the
+				// decision completes.
+				start := c.now
+				if c.routerFree > start {
+					start = c.routerFree
+				}
+				c.routerFree = start + c.cfg.DecideCost
+				c.push(&event{at: c.routerFree, kind: evRouted, a: e.a, rq: start - c.now})
+				break
 			}
+			c.routeArrival(e.a, 0)
+		case evRouted:
+			c.routeArrival(e.a, e.rq)
 		case evCompletion:
 			e.n.free++
 			c.burn.Record(c.now, e.latency)
@@ -407,7 +463,7 @@ func (c *Cluster) Run(arrivals []workload.ArrivalSpec) (*Report, error) {
 			for e.n.free > 0 && len(e.n.waiting) > 0 {
 				q := e.n.waiting[0]
 				e.n.waiting = e.n.waiting[1:]
-				c.dispatch(e.n, q.a, q.enq)
+				c.dispatch(e.n, q)
 			}
 		case evScaleTick:
 			c.onScaleTick()
@@ -416,6 +472,9 @@ func (c *Cluster) Run(arrivals []workload.ArrivalSpec) (*Report, error) {
 			}
 		}
 		c.cfg.Recorder.RecordAt(c.now)
+		if c.cfg.FleetObs != nil {
+			c.cfg.FleetObs.SampleAt(c.now, c.nodeStates)
+		}
 	}
 	for _, n := range c.nodes {
 		c.report.Nodes = append(c.report.Nodes, NodeStats{
@@ -428,7 +487,67 @@ func (c *Cluster) Run(arrivals []workload.ArrivalSpec) (*Report, error) {
 		})
 	}
 	c.report.FinalNodes = len(c.live())
+	c.report.Router.PerNode = c.perNodeStats()
 	return &c.report, nil
+}
+
+// routeArrival routes one arrival (rq is the front-end wait it already
+// paid) and dispatches or enqueues it on the chosen node.
+func (c *Cluster) routeArrival(a workload.ArrivalSpec, rq simtime.Duration) {
+	res := c.route(a.Function)
+	hit := c.countRoute(res, a.Function)
+	if f := c.cfg.FleetObs; f != nil {
+		f.RouteDecision(fleetobs.Decision{
+			At:          c.now,
+			Function:    a.Function,
+			Node:        res.n.id,
+			Reason:      res.reason,
+			Hit:         hit,
+			RouterQueue: rq,
+			Decide:      c.decideCost(),
+			Candidates:  res.cands,
+		})
+	}
+	q := queued{a: a, enq: c.now, rq: rq, decide: c.decideCost(), route: res.reason}
+	if res.n.free == 0 {
+		res.n.waiting = append(res.n.waiting, q)
+	} else {
+		c.dispatch(res.n, q)
+	}
+}
+
+// decideCost is the per-decision front-end cost actually charged (zero for
+// the instantaneous default front end).
+func (c *Cluster) decideCost() simtime.Duration {
+	if c.cfg.DecideCost > 0 {
+		return c.cfg.DecideCost
+	}
+	return 0
+}
+
+// nodeStates snapshots every node ever created for the fleet grid, in
+// creation (= id) order. Retired nodes keep their row so the heatmap stays
+// square over autoscaler churn.
+func (c *Cluster) nodeStates() []fleetobs.NodeSample {
+	out := make([]fleetobs.NodeSample, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		s := fleetobs.NodeSample{
+			Node:     n.id,
+			Cores:    n.cores,
+			Alive:    n.alive,
+			Draining: n.draining,
+		}
+		if n.alive {
+			fast, slow := n.cache.Occupancy()
+			s.Running = n.cores - n.free
+			s.Queued = len(n.waiting)
+			s.DiskUsed, s.DiskCap = n.diskUsed, c.cfg.DiskBytes
+			s.FastUsed, s.FastCap = fast, n.host.FastBytes
+			s.SlowUsed, s.SlowCap = slow, n.host.SlowBytes
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 func (c *Cluster) push(e *event) {
@@ -437,15 +556,38 @@ func (c *Cluster) push(e *event) {
 	heap.Push(&c.queue, e)
 }
 
-// countRoute updates router statistics for one decision.
-func (c *Cluster) countRoute(n *node, fn string, spilled bool) {
+// countRoute updates the fleet-wide and per-node router statistics for one
+// decision and reports whether the chosen node already held the function.
+func (c *Cluster) countRoute(res routeResult, fn string) bool {
+	n := res.n
 	c.report.Router.Decisions++
 	hit := n.cache.Contains(fn) || n.resident[fn] > 0
 	if hit {
 		c.report.Router.AffinityHits++
 	}
+	// Spills keeps its original meaning — diverted off the hash-primary —
+	// so a shed that happens to land on the primary counts as a shed only.
+	spilled := res.reason == fleetobs.ReasonSpill || (res.reason == fleetobs.ReasonShed && res.diverted)
 	if spilled {
 		c.report.Router.Spills++
+	}
+	if res.reason == fleetobs.ReasonShed {
+		c.report.Router.Sheds++
+	}
+	pn := c.routerByNode[n.id]
+	if pn == nil {
+		pn = &NodeRouterStats{Node: n.id}
+		c.routerByNode[n.id] = pn
+	}
+	pn.Decisions++
+	if hit {
+		pn.AffinityHits++
+	}
+	if spilled {
+		pn.Spills++
+	}
+	if res.reason == fleetobs.ReasonShed {
+		pn.Sheds++
 	}
 	if m := c.cfg.Metrics; m != nil {
 		m.Counter(telemetry.MetricRouterDecisions).Add(1)
@@ -455,21 +597,39 @@ func (c *Cluster) countRoute(n *node, fn string, spilled bool) {
 		if spilled {
 			m.Counter(telemetry.MetricRouterSpills).Add(1)
 		}
+		if res.reason == fleetobs.ReasonShed {
+			m.Counter(telemetry.MetricRouterSheds).Add(1)
+		}
 	}
+	return hit
 }
 
-// dispatch runs one invocation on node n starting now.
-func (c *Cluster) dispatch(n *node, a workload.ArrivalSpec, arrivedAt simtime.Duration) {
+// perNodeStats materializes the per-node router counters in id order.
+func (c *Cluster) perNodeStats() []NodeRouterStats {
+	out := make([]NodeRouterStats, 0, len(c.routerByNode))
+	for _, pn := range c.routerByNode {
+		out = append(out, *pn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// dispatch runs one queued invocation on node n starting now.
+func (c *Cluster) dispatch(n *node, q queued) {
 	n.free--
+	a := q.a
 	prof := c.profiles[a.Function]
 	lv := int(a.Level)
 
 	rec := Record{
-		Function:   a.Function,
-		Node:       n.id,
-		Level:      lv,
-		Arrival:    arrivedAt,
-		QueueDelay: c.now - arrivedAt,
+		Function:    a.Function,
+		Node:        n.id,
+		Level:       lv,
+		Arrival:     q.enq,
+		Route:       q.route,
+		RouterQueue: q.rq,
+		Decide:      q.decide,
+		QueueDelay:  c.now - q.enq,
 	}
 	if _, hit := n.cache.Take(a.Function); hit {
 		rec.Setup = c.cfg.ResumeCost
@@ -494,6 +654,7 @@ func (c *Cluster) dispatch(n *node, a workload.ArrivalSpec, arrivedAt simtime.Du
 	c.report.Records = append(c.report.Records, rec)
 	c.push(&event{at: finish, kind: evCompletion, n: n, latency: rec.Latency()})
 
+	c.cfg.FleetObs.Invocation(n.id, rec.Latency(), rec.Cold)
 	c.observeInvocation(n, rec)
 
 	// Keep the finished VM warm on the node's tiers until evicted; the
@@ -565,17 +726,34 @@ func (c *Cluster) observeInvocation(n *node, rec Record) {
 		r.ObservePlacement(rec.Function+"@"+n.id, slow, prof.FastPages+prof.SlowPages, cause)
 	}
 	if xr := c.cfg.XRay; xr != nil {
-		bud := xray.New(rec.Function + "@" + n.id + "/cluster")
-		bud.Add(xray.SegQueueWait, rec.QueueDelay)
+		label := rec.Function + "@" + n.id + "/cluster"
+		if c.cfg.XRayTag != "" {
+			label += "/" + c.cfg.XRayTag
+		}
+		// The segments are added in causal order — front-end router, node
+		// queue, snapshot pull, then execution — and decompose the
+		// independently computed Record.Latency() exactly (zero segments
+		// are dropped by Budget.Add), so Sum()==Recorded() stays a real
+		// cross-check at fleet scale.
+		bud := xray.New(label)
+		bud.Add(xray.SegRouterQueue, rec.RouterQueue)
+		bud.Add(xray.SegRouterDecide, rec.Decide)
+		bud.Add(xray.SegNodeQueue, rec.QueueDelay)
 		bud.Add(xray.SegSnapshotPull, rec.Pull)
 		if rec.Cold {
-			bud.Add(xray.SegSchedSetup, rec.Setup)
+			bud.Add(xray.SegExecSetup, rec.Setup)
 			bud.Mark("start.cold", 1)
 		} else {
-			bud.Add(xray.SegResume, rec.Setup)
+			bud.Add(xray.SegExecResume, rec.Setup)
 			bud.Mark("start.warm", 1)
 		}
-		bud.Add(xray.SegSchedExec, rec.Exec)
+		bud.Add(xray.SegExecRun, rec.Exec)
+		switch rec.Route {
+		case fleetobs.ReasonSpill:
+			bud.Mark(xray.MarkRouterSpill, 1)
+		case fleetobs.ReasonShed:
+			bud.Mark(xray.MarkRouterShed, 1)
+		}
 		if c.pendingUp > 0 {
 			bud.Mark(xray.MarkScaleUp, c.pendingUp)
 			c.pendingUp = 0

@@ -79,8 +79,9 @@ func renderReport(rep *Report) string {
 		len(rep.Records), int64(rep.Horizon), int64(rep.BusyCoreTime), rep.Pulls, int64(rep.PullTime))
 	fmt.Fprintf(&b, "router=%+v peak=%d final=%d\n", rep.Router, rep.PeakNodes, rep.FinalNodes)
 	for _, r := range rep.Records {
-		fmt.Fprintf(&b, "%s %s %d %d %d %d %d %v\n",
-			r.Function, r.Node, int64(r.Arrival), int64(r.QueueDelay), int64(r.Pull), int64(r.Setup), int64(r.Exec), r.Cold)
+		fmt.Fprintf(&b, "%s %s %s %d %d %d %d %d %d %d %v\n",
+			r.Function, r.Node, r.Route, int64(r.Arrival), int64(r.RouterQueue), int64(r.Decide),
+			int64(r.QueueDelay), int64(r.Pull), int64(r.Setup), int64(r.Exec), r.Cold)
 	}
 	for _, ev := range rep.ScaleEvents {
 		fmt.Fprintf(&b, "scale %d %s %s %.6f %.6f %d\n", int64(ev.At), ev.Action, ev.Node, ev.Util, ev.Burn, ev.Fleet)

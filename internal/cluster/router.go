@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"hash/fnv"
+
+	"toss/internal/fleetobs"
 )
 
 // Policy selects the front-end routing policy.
@@ -57,12 +59,55 @@ type RouterStats struct {
 	// Spills counts affinity routes diverted off the hash-primary node
 	// because it was overloaded.
 	Spills int64
+	// Sheds counts affinity routes where every candidate was overloaded
+	// and the arrival went to the least-loaded node of the ranking.
+	Sheds int64
+	// PerNode breaks the counters down by the routed node, in id order.
+	PerNode []NodeRouterStats
+}
+
+// NodeRouterStats is one node's share of the router's decisions.
+type NodeRouterStats struct {
+	Node         string
+	Decisions    int64
+	AffinityHits int64
+	Spills       int64
+	Sheds        int64
+}
+
+// routeResult is one routing decision: the chosen node, the reason
+// (fleetobs.Reason*), whether the choice was diverted off the affinity
+// primary, and — only when a fleetobs recorder is attached — the ranked
+// candidate list the router considered.
+type routeResult struct {
+	n        *node
+	reason   string
+	diverted bool
+	cands    []fleetobs.Candidate
+}
+
+// candidates snapshots the considered nodes for the decision trace; nil
+// unless a fleetobs recorder is attached (the hot path stays
+// allocation-free without one).
+func (c *Cluster) candidates(fn string, nodes []*node) []fleetobs.Candidate {
+	if c.cfg.FleetObs == nil {
+		return nil
+	}
+	out := make([]fleetobs.Candidate, len(nodes))
+	for i, nd := range nodes {
+		out[i] = fleetobs.Candidate{
+			Node:     nd.id,
+			Inflight: nd.inflight(),
+			Hit:      nd.cache.Contains(fn) || nd.resident[fn] > 0,
+		}
+	}
+	return out
 }
 
 // route picks the target node for one arrival among the live, non-draining
-// nodes. It never returns nil while the cluster has at least one routable
-// node; spilled reports an affinity diversion.
-func (c *Cluster) route(fn string) (n *node, spilled bool) {
+// nodes. It never returns a nil node while the cluster has at least one
+// routable node.
+func (c *Cluster) route(fn string) routeResult {
 	cands := c.routable()
 	if len(cands) == 0 {
 		// Every node is draining (autoscaler pathology); fall back to all
@@ -77,12 +122,17 @@ func (c *Cluster) route(fn string) (n *node, spilled bool) {
 				best = nd
 			}
 		}
-		return best, false
+		return routeResult{n: best, reason: fleetobs.ReasonLeastLoaded, cands: c.candidates(fn, cands)}
 	case RouteAffinity:
 		ranked := rendezvousRank(fn, cands)
+		rc := c.candidates(fn, ranked)
 		for i, nd := range ranked {
 			if !c.overloaded(nd) {
-				return nd, i > 0
+				reason := fleetobs.ReasonAffinity
+				if i > 0 {
+					reason = fleetobs.ReasonSpill
+				}
+				return routeResult{n: nd, reason: reason, diverted: i > 0, cands: rc}
 			}
 		}
 		// All overloaded: shed to the least-loaded of the ranked set so the
@@ -93,11 +143,11 @@ func (c *Cluster) route(fn string) (n *node, spilled bool) {
 				best = nd
 			}
 		}
-		return best, best != ranked[0]
+		return routeResult{n: best, reason: fleetobs.ReasonShed, diverted: best != ranked[0], cands: rc}
 	default: // RouteRoundRobin
 		n := cands[c.rr%len(cands)]
 		c.rr++
-		return n, false
+		return routeResult{n: n, reason: fleetobs.ReasonRoundRobin, cands: c.candidates(fn, cands)}
 	}
 }
 

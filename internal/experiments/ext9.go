@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"toss/internal/cluster"
 	"toss/internal/fleet"
+	"toss/internal/fleetobs"
 	"toss/internal/guest"
 	"toss/internal/par"
 	"toss/internal/sched"
@@ -106,10 +108,14 @@ func max64(a, b int64) int64 {
 
 // ext9Sustained walks the rate ladder and returns the highest offered rate
 // (inv/s) whose p99 meets the SLO, with that run's report. A nil report
-// means even the lowest rung missed the objective.
-func ext9Sustained(cfg cluster.Config, profiles map[string]cluster.FnProfile, proc workload.Process, seed int64) (int64, *cluster.Report, error) {
+// means even the lowest rung missed the objective. With trace set, every
+// rung runs under a fresh fleet recorder and the best run's recorder is
+// returned alongside its report, so the exported decision log explains
+// exactly the run the table quotes.
+func ext9Sustained(cfg cluster.Config, profiles map[string]cluster.FnProfile, proc workload.Process, seed int64, trace bool) (int64, *cluster.Report, *fleetobs.Recorder, error) {
 	var bestRate int64
 	var best *cluster.Report
+	var bestObs *fleetobs.Recorder
 	for _, rate := range ext9Rates {
 		arrivals, err := workload.Arrivals(workload.ArrivalsConfig{
 			Process:   proc,
@@ -122,22 +128,25 @@ func ext9Sustained(cfg cluster.Config, profiles map[string]cluster.FnProfile, pr
 			FlashFactor: 4,
 		})
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
+		}
+		if trace {
+			cfg.FleetObs = fleetobs.New(fleetobs.Config{})
 		}
 		cl, err := cluster.New(cfg, profiles)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		rep, err := cl.Run(arrivals)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		if ext9InflationP99(rep, profiles) > ext9SLO {
 			break // offered load only grows up the ladder
 		}
-		bestRate, best = rate, rep
+		bestRate, best, bestObs = rate, rep, cfg.FleetObs
 	}
-	return bestRate, best, nil
+	return bestRate, best, bestObs, nil
 }
 
 // ExtClusterScaling sweeps fleet size x routing policy x arrival process
@@ -185,24 +194,31 @@ func ExtClusterScaling(s *Suite) (*Table, error) {
 	}
 	disk := max64(snapSum*7/10, snapMax)
 
-	baseConfig := func(hosts []fleet.HostSpec, router cluster.Policy) cluster.Config {
+	type cell struct {
+		nodes  int
+		router cluster.Policy
+		proc   workload.Process
+	}
+
+	// baseConfig wires one cell's fleet. With an attribution collector on
+	// the suite (tossctl -xray), every cluster invocation's budget carries
+	// the cell's identity — node count, policy, arrival process, mechanism
+	// — in its label tag, so `tossctl diff` names the exact cell a cluster
+	// regression lives in.
+	baseConfig := func(hosts []fleet.HostSpec, c cell, mech string) cluster.Config {
 		return cluster.Config{
 			Hosts:           hosts,
 			Cores:           16,
 			DiskBytes:       disk,
 			PullBytesPerSec: 2 << 30,
 			ResumeCost:      500 * simtime.Microsecond,
-			Router:          router,
+			Router:          c.router,
 			Cost:            s.Core.Cost,
+			XRay:            s.Core.VM.XRay,
+			XRayTag:         fmt.Sprintf("%dn/%s/%s/%s", c.nodes, c.router, c.proc, mech),
 			// No burn tracker: the SLO here is on warm-hit inflation, which
 			// ext9InflationP99 computes from the records directly.
 		}
-	}
-
-	type cell struct {
-		nodes  int
-		router cluster.Policy
-		proc   workload.Process
 	}
 	var cells []cell
 	for _, nodes := range []int{2, 4} {
@@ -216,23 +232,29 @@ func ExtClusterScaling(s *Suite) (*Table, error) {
 		tossRate, dramRate int64
 		tossP99            float64
 		tossCold, dramCold float64
+		perNode            []cluster.NodeRouterStats
 	}
+	trace := s.FleetSink != nil
 	results, err := par.Map(s.Pool(), cells, func(_ int, c cell) (result, error) {
 		seed := s.BaseSeed*1000 + int64(c.proc) + 1
-		tossRate, tossRep, err := ext9Sustained(
-			baseConfig(tossHost.Hosts(c.nodes), c.router), tossProfiles, c.proc, seed)
+		tossRate, tossRep, tossObs, err := ext9Sustained(
+			baseConfig(tossHost.Hosts(c.nodes), c, "toss"), tossProfiles, c.proc, seed, trace)
 		if err != nil {
 			return result{}, err
 		}
-		dramRate, dramRep, err := ext9Sustained(
-			baseConfig(dramHost.Hosts(c.nodes), c.router), dramProfiles, c.proc, seed)
+		dramRate, dramRep, dramObs, err := ext9Sustained(
+			baseConfig(dramHost.Hosts(c.nodes), c, "dram"), dramProfiles, c.proc, seed, trace)
 		if err != nil {
 			return result{}, err
 		}
+		cellName := fmt.Sprintf("ext9/%dn/%s/%s", c.nodes, c.router, c.proc)
+		s.FleetSink.Record(cellName+"/toss", tossObs)
+		s.FleetSink.Record(cellName+"/dram", dramObs)
 		res := result{tossRate: tossRate, dramRate: dramRate}
 		if tossRep != nil {
 			res.tossP99 = float64(ext9InflationP99(tossRep, tossProfiles)) / float64(simtime.Millisecond)
 			res.tossCold = tossRep.ColdFraction() * 100
+			res.perNode = tossRep.Router.PerNode
 		}
 		if dramRep != nil {
 			res.dramCold = dramRep.ColdFraction() * 100
@@ -295,6 +317,17 @@ func ExtClusterScaling(s *Suite) (*Table, error) {
 	if tossHolds {
 		t.AddNote("the TOSS fleet sustains >= the DRAM fleet's rate in every cell at equal memory cost (ratio %.1f:1)",
 			s.Core.Cost.CostFast/s.Core.Cost.CostSlow)
+	}
+	// Per-node router breakdown for the headline cell: where the affinity
+	// router actually sent the cold-start-heavy flash crowds on the larger
+	// fleet, at the best sustained rate (satellite view of Router.PerNode).
+	if head := byCell[cell{4, cluster.RouteAffinity, workload.ProcFlash}]; len(head.perNode) > 0 {
+		parts := make([]string, 0, len(head.perNode))
+		for _, pn := range head.perNode {
+			parts = append(parts, fmt.Sprintf("%s %d dec / %d hit / %d spill / %d shed",
+				pn.Node, pn.Decisions, pn.AffinityHits, pn.Spills, pn.Sheds))
+		}
+		t.AddNote("per-node router at 4 nodes/affinity/flash (toss, best rate): %s", strings.Join(parts, "; "))
 	}
 	t.AddNote("0 inv/s means even the lowest rung (%d inv/s) breached the objective in steady state", ext9Rates[0])
 	t.AddNote("hosts sized so one node keeps ~3/4 of the set warm; DRAM host converts the slow-tier budget to DRAM at the cost ratio")

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"toss/internal/core"
+	"toss/internal/fleetobs"
 	"toss/internal/mem"
 	"toss/internal/microvm"
 	"toss/internal/obs"
@@ -41,6 +42,12 @@ type Suite struct {
 	// observability-wired experiments (Fig. 7/9) on its residency timelines.
 	// Attach with SetRecorder so machine-level observations flow too.
 	Obs *obs.Recorder
+	// FleetSink, when set, collects the fleet decision traces of the
+	// cluster experiments (ext9): each swept cell records its best
+	// sustained run's routing/scaling event log under a stable cell name.
+	// The sink folds parallel cells deterministically, so the exported
+	// JSON-lines log is byte-identical for any worker-pool size.
+	FleetSink *fleetobs.Sink
 	// Workers bounds the experiment engine's parallelism (see Pool). Zero
 	// or one runs everything serially. Set before the first Run.
 	Workers int

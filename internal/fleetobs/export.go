@@ -1,0 +1,154 @@
+package fleetobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"toss/internal/simtime"
+)
+
+// All exporters are hand-serialized with fixed field order and fixed number
+// formatting, the same discipline as internal/telemetry: identical inputs
+// produce identical bytes, which is what the serial-vs-parallel cmp steps
+// in CI assert. encoding/json is only used for string escaping.
+
+// jsonString escapes s as a JSON string literal.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// micros renders virtual nanoseconds as microseconds with nanosecond
+// precision — Chrome's trace_event ts unit.
+func micros(d simtime.Duration) string {
+	return strconv.FormatFloat(float64(d.Nanoseconds())/1e3, 'f', 3, 64)
+}
+
+// appendEventLine appends one decision-log JSON line for e. cell, when
+// non-empty, is emitted as the leading field so folded multi-cell logs
+// stay self-describing and sortable.
+func appendEventLine(b *strings.Builder, cell string, e Event) {
+	b.WriteByte('{')
+	if cell != "" {
+		b.WriteString(`"cell":` + jsonString(cell) + `,`)
+	}
+	switch {
+	case e.Route != nil:
+		d := e.Route
+		fmt.Fprintf(b, `"at_ns":%d,"kind":"route","fn":%s,"node":%s,"reason":%s,"hit":%t,"router_queue_ns":%d,"decide_ns":%d,"candidates":[`,
+			d.At.Nanoseconds(), jsonString(d.Function), jsonString(d.Node), jsonString(d.Reason),
+			d.Hit, d.RouterQueue.Nanoseconds(), d.Decide.Nanoseconds())
+		for i, c := range d.Candidates {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, `{"node":%s,"inflight":%d,"hit":%t}`, jsonString(c.Node), c.Inflight, c.Hit)
+		}
+		b.WriteString("]}")
+	case e.Scale != nil:
+		s := e.Scale
+		fmt.Fprintf(b, `"at_ns":%d,"kind":"scale","action":%s,"node":%s,"util":%s,"burn":%s,"fleet":%d}`,
+			s.At.Nanoseconds(), jsonString(s.Action), jsonString(s.Node),
+			strconv.FormatFloat(s.Util, 'f', 6, 64), strconv.FormatFloat(s.Burn, 'f', 6, 64), s.Fleet)
+	default:
+		b.WriteByte('}')
+	}
+	b.WriteByte('\n')
+}
+
+// renderDecisionLog renders events as JSON lines with an optional cell tag.
+func renderDecisionLog(cell string, events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		appendEventLine(&b, cell, e)
+	}
+	return b.String()
+}
+
+// WriteDecisionLog writes the recorder's decision trace as JSON lines, one
+// object per routing decision or autoscaler action, in simulation order.
+func (r *Recorder) WriteDecisionLog(w io.Writer) error {
+	_, err := io.WriteString(w, renderDecisionLog("", r.Events()))
+	return err
+}
+
+// WriteChromeTrace writes the decision trace plus the node grid in Chrome
+// trace_event JSON (chrome://tracing, Perfetto): one thread per node in id
+// order carrying its routing decisions as instant events, an "autoscaler"
+// thread carrying scale actions, and per-node load counters (running +
+// queued) from the grid samples.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n")
+		return err
+	}
+	events := r.Events()
+	samples := r.Samples()
+
+	r.mu.Lock()
+	ids := r.nodeIDsLocked()
+	r.mu.Unlock()
+	tid := make(map[string]int, len(ids))
+	for i, id := range ids {
+		tid[id] = i + 1 // tid 0 is the autoscaler track
+	}
+
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) error {
+		sep := ",\n"
+		if first {
+			sep = "\n"
+			first = false
+		}
+		_, err := io.WriteString(w, sep+line)
+		return err
+	}
+	if err := emit(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"fleet"}}`); err != nil {
+		return err
+	}
+	if err := emit(`{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"autoscaler"}}`); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := emit(fmt.Sprintf(
+			`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+			tid[id], jsonString(id))); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		switch {
+		case e.Route != nil:
+			d := e.Route
+			if err := emit(fmt.Sprintf(
+				`{"name":%s,"cat":"route","ph":"i","s":"t","ts":%s,"pid":1,"tid":%d,"args":{"reason":%s,"hit":%t}}`,
+				jsonString(d.Function), micros(d.At), tid[d.Node], jsonString(d.Reason), d.Hit)); err != nil {
+				return err
+			}
+		case e.Scale != nil:
+			s := e.Scale
+			if err := emit(fmt.Sprintf(
+				`{"name":%s,"cat":"scale","ph":"i","s":"p","ts":%s,"pid":1,"tid":0,"args":{"node":%s,"util":%s,"burn":%s,"fleet":%d}}`,
+				jsonString("scale-"+s.Action), micros(s.At), jsonString(s.Node),
+				strconv.FormatFloat(s.Util, 'f', 6, 64), strconv.FormatFloat(s.Burn, 'f', 6, 64),
+				s.Fleet)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range samples {
+		if err := emit(fmt.Sprintf(
+			`{"name":%s,"ph":"C","ts":%s,"pid":1,"tid":0,"args":{"running":%d,"queued":%d}}`,
+			jsonString(s.Node+" load"), micros(s.At), s.Running, s.Queued)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}

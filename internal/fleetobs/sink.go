@@ -1,0 +1,72 @@
+package fleetobs
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// Sink folds the decision logs of many cluster runs (one Recorder per
+// experiment cell) into a single deterministic JSON-lines document. Cells
+// record under a mutex in whatever order the experiment pool completes
+// them; WriteTo emits cells sorted by name, each line tagged with its
+// cell, so the folded log is byte-identical at any parallelism — the same
+// contract the xray collector keeps for attribution dumps.
+type Sink struct {
+	mu    sync.Mutex
+	cells map[string]string
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink { return &Sink{cells: make(map[string]string)} }
+
+// Record renders r's decision trace under the cell name. Recording the
+// same cell twice keeps the latest trace; nil sinks and nil recorders are
+// no-ops.
+func (s *Sink) Record(cell string, r *Recorder) {
+	if s == nil || r == nil {
+		return
+	}
+	log := renderDecisionLog(cell, r.Events())
+	s.mu.Lock()
+	s.cells[cell] = log
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded cells.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
+}
+
+// WriteTo writes every cell's log, cells in sorted name order.
+func (s *Sink) WriteTo(w io.Writer) (int64, error) {
+	if s == nil {
+		return 0, nil
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.cells))
+	for name := range s.cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	logs := make([]string, len(names))
+	for i, name := range names {
+		logs[i] = s.cells[name]
+	}
+	s.mu.Unlock()
+
+	var total int64
+	for _, log := range logs {
+		n, err := io.WriteString(w, log)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"toss/internal/fleetobs"
+)
+
+// SetFleet attaches a fleet recorder so the dashboard can serve the
+// node-grid panel (/fleet, /fleet.json). Nil recorders and nil fleet
+// recorders are fine — the panel just reports no fleet attached.
+func (r *Recorder) SetFleet(f *fleetobs.Recorder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.fleet = f
+	r.mu.Unlock()
+}
+
+// FleetView materializes the attached fleet recorder's current view, or nil
+// when no fleet is attached.
+func (r *Recorder) FleetView() *fleetobs.FleetView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	f := r.fleet
+	r.mu.Unlock()
+	return f.View()
+}

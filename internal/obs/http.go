@@ -5,15 +5,18 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"toss/internal/fleetobs"
 	"toss/internal/xray"
 )
 
 // Handler returns the live dashboard: an index at /, Prometheus text at
 // /metrics, the full snapshot at /timeseries.json, a self-contained HTML
-// heatmap at /heatmap, a liveness probe at /healthz, and the standard
-// net/http/pprof endpoints under /debug/pprof/. Everything renders from a
-// point-in-time Snapshot taken per request, so a browser polling the
-// dashboard never blocks the simulation for longer than one state copy.
+// heatmap at /heatmap, the fleet node grid at /fleet and /fleet.json (when
+// a fleet recorder is attached via SetFleet), a liveness probe at /healthz,
+// and the standard net/http/pprof endpoints under /debug/pprof/. Unknown
+// paths return 404. Everything renders from a point-in-time Snapshot taken
+// per request, so a browser polling the dashboard never blocks the
+// simulation for longer than one state copy.
 func (r *Recorder) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
@@ -30,6 +33,8 @@ func (r *Recorder) Handler() http.Handler {
 <li><a href="/heatmap">/heatmap</a> — tier-residency heatmap</li>
 <li><a href="/xray">/xray</a> — per-function latency budgets (attribution waterfalls)</li>
 <li><a href="/xray.json">/xray.json</a> — aggregated attribution dump (tossctl diff input)</li>
+<li><a href="/fleet">/fleet</a> — fleet node grid (utilization heat, queues, tier occupancy, per-node p99)</li>
+<li><a href="/fleet.json">/fleet.json</a> — fleet view as JSON (decision/scale totals per node)</li>
 <li><a href="/healthz">/healthz</a> — liveness</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go runtime profiles</li>
 </ul></body></html>
@@ -66,6 +71,18 @@ func (r *Recorder) Handler() http.Handler {
 			doc.Reports = append(doc.Reports, rep)
 		}
 		if err := xray.WriteJSON(w, doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := fleetobs.WriteFleetHTML(w, r.FleetView()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/fleet.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := fleetobs.WriteFleetJSON(w, r.FleetView()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

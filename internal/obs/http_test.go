@@ -6,6 +6,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"toss/internal/fleetobs"
+	"toss/internal/obs"
+	"toss/internal/simtime"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
@@ -70,8 +74,71 @@ func TestDashboardEndpoints(t *testing.T) {
 		t.Errorf("/debug/pprof/ code=%d", code)
 	}
 
-	code, _, _ = get(t, srv, "/no-such-page")
-	if code != http.StatusNotFound {
-		t.Errorf("unknown path code=%d, want 404", code)
+	// Unknown paths must 404, not fall through to the index.
+	for _, path := range []string{"/no-such-page", "/fleet/nested", "/xray/"} {
+		code, body, _ = get(t, srv, path)
+		if code != http.StatusNotFound {
+			t.Errorf("%s code=%d, want 404", path, code)
+		}
+		if strings.Contains(body, "flight recorder") {
+			t.Errorf("%s served the index instead of 404", path)
+		}
+	}
+}
+
+// TestFleetEndpoints covers the node-grid panel: the index links it, it
+// renders the empty banner without a fleet recorder, and serves the grid
+// once one is attached.
+func TestFleetEndpoints(t *testing.T) {
+	rec := miniRun(t)
+	srv := httptest.NewServer(rec.Handler())
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/")
+	if code != http.StatusOK || !strings.Contains(body, `href="/fleet"`) ||
+		!strings.Contains(body, `href="/fleet.json"`) {
+		t.Errorf("index missing fleet links: code=%d", code)
+	}
+
+	code, body, hdr := get(t, srv, "/fleet")
+	if code != http.StatusOK || !strings.Contains(body, "no fleet attached") {
+		t.Errorf("/fleet without recorder: code=%d body=%q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Errorf("/fleet content-type = %q", ct)
+	}
+
+	fr := fleetobs.New(fleetobs.Config{Interval: simtime.Second})
+	fr.SampleAt(0, func() []fleetobs.NodeSample {
+		return []fleetobs.NodeSample{{Node: "n01", Cores: 4, Running: 2, Alive: true}}
+	})
+	fr.RouteDecision(fleetobs.Decision{
+		At: simtime.Millisecond, Function: "pyaes", Node: "n01",
+		Reason: fleetobs.ReasonAffinity, Hit: true,
+	})
+	fr.Invocation("n01", 10*simtime.Millisecond, false)
+	rec.SetFleet(fr)
+
+	code, body, _ = get(t, srv, "/fleet")
+	if code != http.StatusOK || !strings.Contains(body, "n01") || !strings.Contains(body, "<!DOCTYPE html>") {
+		t.Errorf("/fleet with recorder: code=%d", code)
+	}
+	if strings.Contains(body, "<script") {
+		t.Error("/fleet must be self-contained with no scripts")
+	}
+
+	code, body, hdr = get(t, srv, "/fleet.json")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
+		t.Errorf("/fleet.json code=%d ct=%q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, `"node":"n01"`) || !strings.Contains(body, `"decisions":1`) {
+		t.Errorf("/fleet.json body=%q", body)
+	}
+
+	// A nil recorder keeps the whole surface nil-safe.
+	var nilRec *obs.Recorder
+	nilRec.SetFleet(fr)
+	if nilRec.FleetView() != nil {
+		t.Error("nil recorder returned a fleet view")
 	}
 }

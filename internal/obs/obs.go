@@ -33,6 +33,7 @@ import (
 
 	"toss/internal/access"
 	"toss/internal/damon"
+	"toss/internal/fleetobs"
 	"toss/internal/guest"
 	"toss/internal/mem"
 	"toss/internal/simtime"
@@ -104,6 +105,9 @@ type Recorder struct {
 	// xray, when non-nil, is the attribution collector behind the
 	// dashboard's latency-budget panel (SetXRay).
 	xray *xray.Collector
+	// fleet, when non-nil, is the fleet recorder behind the dashboard's
+	// node-grid panel (SetFleet).
+	fleet *fleetobs.Recorder
 }
 
 // New returns an enabled recorder. Use a nil *Recorder for the disabled one.

@@ -600,6 +600,7 @@ const (
 	MetricRouterDecisions  = "cluster.router_decisions"
 	MetricRouterAffinity   = "cluster.router_affinity_hits"
 	MetricRouterSpills     = "cluster.router_spills"
+	MetricRouterSheds      = "cluster.router_sheds"
 	MetricSnapshotPulls    = "cluster.snapshot_pulls"
 	MetricClusterScaleUps  = "cluster.scale_ups"
 	MetricClusterScaleDown = "cluster.scale_downs"

@@ -117,12 +117,43 @@ func Diff(old, new RunDoc, threshold float64) (*DiffResult, error) {
 	return res, nil
 }
 
+// SplitClusterLabel recognizes attribution labels minted by the cluster
+// simulator — "<fn>@<node>/cluster[/<cell>]", where the optional cell tag
+// (cluster.Config.XRayTag) names the swept cell, e.g.
+// "pyaes@n01/cluster/4n/affinity/flash/toss". It returns the bare invocation
+// label ("pyaes@n01") and the cell tag ("4n/affinity/flash/toss", empty when
+// the run was untagged). ok reports whether the label is a cluster label at
+// all; single-host labels pass through unrecognized.
+func SplitClusterLabel(label string) (bare, cell string, ok bool) {
+	if i := strings.Index(label, "/cluster/"); i >= 0 {
+		return label[:i], label[i+len("/cluster/"):], true
+	}
+	if bare, found := strings.CutSuffix(label, "/cluster"); found {
+		return bare, "", true
+	}
+	return label, "", false
+}
+
 // Format renders the diff result as the human report tossctl prints.
+// Cluster-tagged cells render with the fleet cell — node count, routing
+// policy, arrival process, mechanism — set off from the invocation label, so
+// a regression in "ext9/pyaes@n01/.../snapshot.pull" reads as which cell of
+// the sweep regressed, not as an opaque path.
 func (r *DiffResult) Format(threshold float64) string {
 	var b strings.Builder
+	name := func(e DiffEntry) string {
+		if bare, cellTag, ok := SplitClusterLabel(e.Label); ok {
+			n := e.Experiment + "/" + bare + "/" + e.Segment + " [cluster"
+			if cellTag != "" {
+				n += " " + cellTag
+			}
+			return n + "]"
+		}
+		return e.Experiment + "/" + e.Label + "/" + e.Segment
+	}
 	line := func(tag string, e DiffEntry) {
-		fmt.Fprintf(&b, "  %-10s %s/%s/%s: %.1f -> %.1f ns/record (%+.1f%%)\n",
-			tag, e.Experiment, e.Label, e.Segment, e.OldNs, e.NewNs, e.Delta()*100)
+		fmt.Fprintf(&b, "  %-10s %s: %.1f -> %.1f ns/record (%+.1f%%)\n",
+			tag, name(e), e.OldNs, e.NewNs, e.Delta()*100)
 	}
 	for _, e := range r.Regressions {
 		line("REGRESSED", e)

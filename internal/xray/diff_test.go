@@ -3,6 +3,8 @@ package xray
 import (
 	"strings"
 	"testing"
+
+	"toss/internal/simtime"
 )
 
 func sampleDoc() RunDoc {
@@ -114,5 +116,53 @@ func TestDiffZeroBaselineDelta(t *testing.T) {
 	}
 	if d := (DiffEntry{OldNs: 0, NewNs: 0}).Delta(); d != 0 {
 		t.Fatalf("zero-to-zero: want 0, got %v", d)
+	}
+}
+
+// TestDiffNamesClusterCells pins satellite behavior for the fleet sweep:
+// a regression inside a cluster-tagged budget must render with the cell —
+// node count, policy, arrival, mechanism — split out from the invocation
+// label, so the report names which swept cell regressed.
+func TestDiffNamesClusterCells(t *testing.T) {
+	mk := func(pull simtime.Duration) RunDoc {
+		b := New("pyaes@n01/cluster/4n/affinity/flash/toss")
+		b.Add(SegSnapshotPull, pull)
+		b.Add(SegExecRun, 10*simtime.Millisecond)
+		b.Seal(pull + 10*simtime.Millisecond)
+		u := New("compress@n02/cluster")
+		u.Add(SegExecRun, 5*simtime.Millisecond)
+		u.Seal(5 * simtime.Millisecond)
+		rep := Aggregate("ext9", []*Budget{b, u})
+		return RunDoc{Schema: SchemaVersion, Reports: []*Report{rep}}
+	}
+	res, err := Diff(mk(10*simtime.Millisecond), mk(20*simtime.Millisecond), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 1 {
+		t.Fatalf("want exactly one regression, got %+v", res.Regressions)
+	}
+	out := res.Format(0.25)
+	if !strings.Contains(out, "REGRESSED  ext9/pyaes@n01/snapshot.pull [cluster 4n/affinity/flash/toss]") {
+		t.Fatalf("format must name the cluster cell:\n%s", out)
+	}
+}
+
+func TestSplitClusterLabel(t *testing.T) {
+	cases := []struct {
+		label, bare, cell string
+		ok                bool
+	}{
+		{"pyaes@n01/cluster/4n/affinity/flash/toss", "pyaes@n01", "4n/affinity/flash/toss", true},
+		{"compress@n02/cluster", "compress@n02", "", true},
+		{"alpha", "alpha", "", false},
+		{"beta@host", "beta@host", "", false},
+	}
+	for _, c := range cases {
+		bare, cell, ok := SplitClusterLabel(c.label)
+		if bare != c.bare || cell != c.cell || ok != c.ok {
+			t.Errorf("SplitClusterLabel(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.label, bare, cell, ok, c.bare, c.cell, c.ok)
+		}
 	}
 }

@@ -81,9 +81,29 @@ const (
 	// SegProfilingDAMON is the DAMON profiling overhead applied to execution
 	// while a function is in the profiling phase.
 	SegProfilingDAMON = "profiling.damon"
-	// SegSnapshotPull is fetching a snapshot onto a node's local store
-	// before a cold restore (cluster routing misses snapshot affinity).
-	SegSnapshotPull = "restore.pull"
+
+	// Cluster-path segments: the causally ordered phases a routed invocation
+	// crosses in internal/cluster — front-end router, then the chosen node.
+	// Together they provably sum to the cluster Record's end-to-end latency
+	// (the same Sum()==Recorded() invariant the single-host budgets carry).
+
+	// SegRouterQueue is time an arrival waited for the (serial) front-end
+	// router to pick it up; only non-zero when cluster.Config.DecideCost
+	// backs the router up.
+	SegRouterQueue = "router.queue"
+	// SegRouterDecide is the front-end routing-decision cost charged to the
+	// invocation (cluster.Config.DecideCost; zero by default).
+	SegRouterDecide = "router.decide"
+	// SegSnapshotPull is fetching a snapshot onto the routed node's local
+	// store before a cold restore (cluster routing missed snapshot affinity).
+	SegSnapshotPull = "snapshot.pull"
+	// SegNodeQueue is time queued for a free core on the routed node.
+	SegNodeQueue = "node.queue"
+	// SegExecSetup / SegExecResume / SegExecRun decompose node-local work:
+	// cold restore, warm keep-alive resume, and the function body.
+	SegExecSetup  = "exec.setup"
+	SegExecResume = "exec.resume"
+	SegExecRun    = "exec.run"
 )
 
 // Mark identifiers: named counters that ride on a budget without entering the
@@ -109,6 +129,9 @@ const (
 	// MarkRouterSpill counts affinity routes diverted off the hash-primary
 	// node because it was overloaded.
 	MarkRouterSpill = "cluster.router.spill"
+	// MarkRouterShed counts routes where every candidate was overloaded and
+	// the arrival was shed to the least-loaded node of the ranking.
+	MarkRouterShed = "cluster.router.shed"
 )
 
 // Segment is one attributed slice of an invocation's latency.

@@ -55,8 +55,17 @@ for id in $("$tmp/tossctl" list | grep '^ext'); do
     if [ "$id" = ext8 ]; then ext8="$secs"; fi
 done
 
+# Fleet observability export cost: ext9 again with the attribution dump and
+# the fleet decision log on — the delta against the bare ext9 time above is
+# what full explainability costs end to end.
+fo_start=$(date +%s.%N)
+"$tmp/tossctl" -parallel 1 -xray "$tmp/fleet-xray.json" -fleetlog "$tmp/fleet.jsonl" ext9 > /dev/null 2>&1
+fo_end=$(date +%s.%N)
+fleetobs=$(echo "$fo_end $fo_start" | awk '{printf "%.2f", $1 - $2}')
+echo "ext9 with -xray/-fleetlog ${fleetobs}s" >&2
+
 go run ./scripts/benchjson -serial "$serial" -parallel "$par" -workers "$workers" \
-    -ext8 "$ext8" "${ext_flags[@]}" < "$tmp/bench.txt" > "$out"
+    -ext8 "$ext8" -fleetobs "$fleetobs" "${ext_flags[@]}" < "$tmp/bench.txt" > "$out"
 echo "wrote $out" >&2
 
 # Run-to-run regression diff against the checked-in baseline: warn-only (CI

@@ -51,6 +51,11 @@ type Suite struct {
 	// passed via repeated -ext name=seconds flags. Maps marshal with sorted
 	// keys, so the report stays byte-deterministic for given inputs.
 	ExtSeconds map[string]float64 `json:"ext_seconds,omitempty"`
+	// FleetObsSeconds is the wall-clock of the ext9 cluster sweep with the
+	// full observability export on (-xray attribution dump plus -fleetlog
+	// decision log) — the end-to-end cost of fleet explainability; compare
+	// against ExtSeconds["ext9"] for the observation overhead.
+	FleetObsSeconds float64 `json:"fleetobs_seconds,omitempty"`
 }
 
 // Report is the document written to stdout.
@@ -83,6 +88,7 @@ func main() {
 	parallel := flag.Float64("parallel", 0, "wall-clock seconds of `tossctl all -parallel N`")
 	workers := flag.Int("workers", 0, "worker count N used for the parallel run")
 	ext8 := flag.Float64("ext8", 0, "wall-clock seconds of the ext8 fault sweep alone (0 omits)")
+	fleetobs := flag.Float64("fleetobs", 0, "wall-clock seconds of ext9 with -xray and -fleetlog exports on (0 omits)")
 	exts := extFlag{}
 	flag.Var(exts, "ext", "per-experiment wall-clock as name=seconds (repeatable, e.g. -ext ext1=3.20)")
 	flag.Parse()
@@ -95,6 +101,7 @@ func main() {
 			Workers:         *workers,
 			Speedup:         *serial / *parallel,
 			Ext8Seconds:     *ext8,
+			FleetObsSeconds: *fleetobs,
 		}
 		if len(exts) > 0 {
 			report.Suite.ExtSeconds = exts
