@@ -220,13 +220,14 @@ func printClusterReport(rep *cluster.Report, o clusterOpts) {
 	for _, fn := range o.functions {
 		byFn[fn] = &agg{}
 	}
-	for _, rec := range rep.Records {
-		a := byFn[rec.Function]
+	recs := &rep.Records
+	for i := 0; i < recs.Len(); i++ {
+		a := byFn[recs.Function(i)]
 		a.n++
-		if rec.Cold {
+		if recs.Cold(i) {
 			a.cold++
 		}
-		a.lat = append(a.lat, rec.Latency())
+		a.lat = append(a.lat, recs.Latency(i))
 	}
 	names := append([]string(nil), o.functions...)
 	sort.Strings(names)

@@ -64,6 +64,7 @@ func run() int {
 	metrics := flag.Bool("metrics", false, "collect telemetry metrics and dump them after the run (forces -parallel 1)")
 	faults := flag.String("faults", "", "JSON fault plan injected into every experiment (see FAULTS.md; forces -parallel 1)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker pool size (1 = serial; output is identical either way)")
+	clusterScale := flag.Float64("cluster-scale", 1, "horizon scale for the day-scale cluster experiment ext10 (1 = full ~1.26M-invocation day; CI smoke uses 0.02)")
 	xrayOut := flag.String("xray", "", "write per-experiment attribution budgets (JSON) to this `file`; compare runs with tossctl diff")
 	fleetLog := flag.String("fleetlog", "", "write the cluster experiments' fleet decision logs (JSON lines, one event per routing/scaling decision) to this `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -111,6 +112,7 @@ func run() int {
 	suite.BaseSeed = *seed
 	suite.Core.SlowdownThreshold = *threshold
 	suite.Workers = *parallel
+	suite.ClusterScale = *clusterScale
 	if *ratio != 2.5 {
 		m := suite.Core.Cost
 		m.CostSlow = m.CostFast / *ratio

@@ -94,22 +94,27 @@ type ScaleEvent struct {
 func (c *Cluster) onScaleTick() {
 	// Retire drained nodes first: a draining node with nothing in flight
 	// leaves the fleet (its cached state is discarded).
+	retired := false
 	for _, n := range c.nodes {
 		if n.alive && n.draining && n.inflight() == 0 {
 			n.alive = false
+			retired = true
 		}
+	}
+	if retired {
+		c.rebuildTopo()
 	}
 
 	as := c.cfg.Autoscale
-	routable := c.routable()
-	if len(routable) == 0 {
+	routable := len(c.routableIdx)
+	if routable == 0 {
 		return
 	}
 
 	// Mean utilization since the last tick across routable cores.
 	busyDelta := c.report.BusyCoreTime - c.lastBusy
 	c.lastBusy = c.report.BusyCoreTime
-	util := float64(busyDelta) / (float64(as.Tick) * float64(c.cfg.Cores) * float64(len(routable)))
+	util := float64(busyDelta) / (float64(as.Tick) * float64(c.cfg.Cores) * float64(routable))
 
 	// SLO burn fraction among completions since the last tick, as deltas
 	// of the fleet burn tracker's totals.
@@ -123,27 +128,29 @@ func (c *Cluster) onScaleTick() {
 	}
 
 	switch {
-	case (util > as.UtilHigh || burn > as.BurnHigh) && len(routable) < as.Max:
+	case (util > as.UtilHigh || burn > as.BurnHigh) && routable < as.Max:
 		h := c.cfg.Hosts[(c.nextID)%len(c.cfg.Hosts)]
-		n := c.addNode(h)
+		n := c.addNode(h) // rebuilds the topology caches
 		c.recordScale("up", n, util, burn)
-	case util < as.UtilLow && burn <= as.BurnHigh/2 && len(routable) > as.Min:
+	case util < as.UtilLow && burn <= as.BurnHigh/2 && routable > as.Min:
 		// Drain the routable node with the least in flight; ties prefer
 		// the newest node so the original fleet persists.
-		victim := routable[0]
-		for _, n := range routable[1:] {
+		victim := c.nodes[c.routableIdx[0]]
+		for _, i := range c.routableIdx[1:] {
+			n := c.nodes[i]
 			if n.inflight() < victim.inflight() || (n.inflight() == victim.inflight() && n.id > victim.id) {
 				victim = n
 			}
 		}
 		victim.draining = true
+		c.rebuildTopo()
 		c.recordScale("down", victim, util, burn)
 	}
 }
 
 // recordScale logs one decision on every surface.
 func (c *Cluster) recordScale(action string, n *node, util, burn float64) {
-	before := len(c.routable())
+	before := len(c.routableIdx)
 	switch action {
 	case "up":
 		c.pendingUp++

@@ -11,10 +11,19 @@
 // snapshot-affinity policy (rendezvous hashing) is page tiering writ large —
 // steer each function to the nodes whose disks and warm caches already hold
 // it, and cold starts shrink without any per-node change.
+//
+// The event core is built for million-invocation scale (ROADMAP item 2):
+// the hot path — pop event, route, dispatch, record — performs no steady-
+// state heap allocation. Events live by value in a slice-backed 4-ary heap,
+// per-invocation outcomes go to columnar storage (Records), function and
+// node names are interned to dense ids at construction, the routable set
+// and per-function rendezvous rankings are cached between topology changes,
+// and arrivals stream from a pull-based workload.Source so a day-long trace
+// never materializes. BenchmarkClusterRun pins the budget: >=1M invocations
+// simulated in <5s on one core at <=2 amortized allocations per invocation.
 package cluster
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -25,6 +34,7 @@ import (
 	"toss/internal/keepalive"
 	"toss/internal/obs"
 	"toss/internal/simtime"
+	"toss/internal/stats"
 	"toss/internal/telemetry"
 	"toss/internal/workload"
 	"toss/internal/xray"
@@ -127,27 +137,36 @@ func (c Config) Validate() error {
 	return c.Autoscale.validate(len(c.Hosts))
 }
 
-// node is one simulated host.
+// node is one simulated host. Function-keyed state is indexed by the
+// cluster's interned function id (a dense int over the sorted profile set)
+// so the dispatch path runs on slice indexing instead of string-keyed maps.
 type node struct {
 	id   string
+	idx  int32 // index into Cluster.nodes and Records.nodeNames
 	host fleet.HostSpec
 
 	cores   int
 	free    int
-	waiting []queued
+	waiting waitRing
 	cache   *keepalive.Cache
 
-	// resident maps function -> snapshot bytes held on local disk;
+	// resident[fid] is the snapshot bytes held on local disk (0 = absent);
 	// lastUsed drives LRU eviction when diskUsed would exceed capacity.
-	resident map[string]int64
-	lastUsed map[string]simtime.Duration
+	// Eviction scans fids in ascending order with a strict time comparison,
+	// which reproduces the former map's min-(time, name) victim choice
+	// because fid order is name order.
+	resident []int64
+	lastUsed []simtime.Duration
 	diskUsed int64
 
-	lastColdSetup map[string]simtime.Duration
+	lastColdSetup []simtime.Duration
 
 	busy        simtime.Duration
 	invocations int64
 	cold        int64
+
+	// router accumulates this node's share of routing decisions.
+	router NodeRouterStats
 
 	draining bool
 	alive    bool
@@ -155,22 +174,55 @@ type node struct {
 
 type queued struct {
 	a   workload.ArrivalSpec
+	fid int32
 	enq simtime.Duration
 	// rq / decide are the front-end segments the arrival already paid
-	// before reaching the node; route is the routing reason
-	// (fleetobs.Reason*). All ride to dispatch so the Record and its
-	// budget carry them.
+	// before reaching the node; route is the routing reason (a routeReasons
+	// code). All ride to dispatch so the Record and its budget carry them.
 	rq     simtime.Duration
 	decide simtime.Duration
-	route  string
+	route  uint8
+}
+
+// waitRing is a growable FIFO ring of queued arrivals: steady-state
+// enqueue/dequeue churn reuses the buffer instead of the reslice-and-append
+// pattern that reallocates as the front capacity is abandoned.
+type waitRing struct {
+	buf  []queued
+	head int
+	n    int
+}
+
+func (r *waitRing) len() int { return r.n }
+
+func (r *waitRing) push(q queued) {
+	if r.n == len(r.buf) {
+		grown := make([]queued, 2*r.n+4)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = q
+	r.n++
+}
+
+func (r *waitRing) pop() queued {
+	q := r.buf[r.head]
+	r.buf[r.head] = queued{} // release the spec's string reference
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return q
 }
 
 // inflight is the node's outstanding work: running plus queued invocations.
 func (n *node) inflight() int {
-	return len(n.waiting) + (n.cores - n.free)
+	return n.waiting.len() + (n.cores - n.free)
 }
 
-// Record is the outcome of one routed invocation.
+// Record is the decoded (struct) view of one routed invocation's outcome.
+// The run stores outcomes columnar (see Records); Record materializes at
+// the observer and report boundaries.
 type Record struct {
 	Function string
 	Node     string
@@ -214,7 +266,7 @@ type NodeStats struct {
 
 // Report aggregates a cluster run.
 type Report struct {
-	Records []Record
+	Records Records
 	Horizon simtime.Duration
 	Router  RouterStats
 	// Pulls / PullTime count snapshot fetches onto node-local stores.
@@ -235,30 +287,31 @@ type Report struct {
 
 // ColdFraction returns the fraction of invocations that cold-started.
 func (r *Report) ColdFraction() float64 {
-	if len(r.Records) == 0 {
+	n := r.Records.Len()
+	if n == 0 {
 		return 0
 	}
 	cold := 0
-	for _, rec := range r.Records {
-		if rec.Cold {
+	for _, c := range r.Records.cold {
+		if c {
 			cold++
 		}
 	}
-	return float64(cold) / float64(len(r.Records))
+	return float64(cold) / float64(n)
 }
 
-// LatencyPercentile returns the p-th percentile end-to-end latency.
+// LatencyPercentile returns the p-th percentile end-to-end latency
+// (nearest-rank convention).
 func (r *Report) LatencyPercentile(p float64) simtime.Duration {
-	if len(r.Records) == 0 {
+	n := r.Records.Len()
+	if n == 0 {
 		return 0
 	}
-	ls := make([]simtime.Duration, len(r.Records))
-	for i, rec := range r.Records {
-		ls[i] = rec.Latency()
+	ls := make([]simtime.Duration, n)
+	for i := range ls {
+		ls[i] = r.Records.Latency(i)
 	}
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
-	idx := int(p / 100 * float64(len(ls)-1))
-	return ls[idx]
+	return stats.NearestRankInPlace(ls, p)
 }
 
 // Throughput returns completed invocations per second of virtual time.
@@ -266,71 +319,40 @@ func (r *Report) Throughput() float64 {
 	if r.Horizon <= 0 {
 		return 0
 	}
-	return float64(len(r.Records)) / r.Horizon.Seconds()
+	return float64(r.Records.Len()) / r.Horizon.Seconds()
 }
-
-// event is one entry in the fleet-wide priority queue.
-type event struct {
-	at   simtime.Duration
-	kind eventKind
-	seq  int64 // tie-breaker for determinism
-	a    workload.ArrivalSpec
-	n    *node
-	// latency rides on completions so the burn tracker is fed in
-	// completion-time order (its Record contract).
-	latency simtime.Duration
-	// rq rides on evRouted: time the arrival waited for the front-end
-	// router before its decision started.
-	rq simtime.Duration
-}
-
-type eventKind int
-
-const (
-	evArrival eventKind = iota
-	// evRouted is an arrival whose routing decision just completed (only
-	// used when Config.DecideCost models a non-instant front end).
-	evRouted
-	evCompletion
-	evScaleTick
-)
-
-// eventQueue is a min-heap on (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
 
 // Cluster is one fleet simulation instance.
 type Cluster struct {
-	cfg      Config
-	profiles map[string]FnProfile
+	cfg Config
 
-	// nodes holds every node ever created, in creation order; live/routable
-	// filter it. Node ids ("n01", "n02", ...) follow creation order, so the
-	// whole run is reproducible from the seed and config alone.
+	// fnNames is the profiled function set in sorted order; a function's
+	// id is its index (so id order is name order — LRU tie-breaks and the
+	// Records dictionary rely on that). profs is parallel to fnNames.
+	fnNames []string
+	fnIdx   map[string]int32
+	profs   []FnProfile
+
+	// nodes holds every node ever created, in creation order; the cached
+	// index sets below filter it. Node ids ("n01", "n02", ...) follow
+	// creation order, so the whole run is reproducible from the seed and
+	// config alone.
 	nodes  []*node
 	nextID int
 	rr     int
 
-	queue eventQueue
-	seq   int64
-	now   simtime.Duration
+	heap eventHeap
+	seq  uint64
+	now  simtime.Duration
 
 	report Report
 	burn   *xray.BurnTracker
 
-	// outstanding counts arrivals not yet completed; the autoscaler stops
-	// ticking when it reaches zero so runs terminate.
-	outstanding int64
+	// remaining counts pushed-but-not-completed arrivals and exhausted
+	// marks the source dry; the autoscaler stops ticking when both say the
+	// run is over, so runs terminate.
+	remaining int64
+	exhausted bool
 
 	// autoscaler deltas since the last tick.
 	lastBusy           simtime.Duration
@@ -341,8 +363,20 @@ type Cluster struct {
 	// routerFree is when the serial front-end router finishes its current
 	// decision (only advances when cfg.DecideCost > 0).
 	routerFree simtime.Duration
-	// routerByNode accumulates per-node router counters for the report.
-	routerByNode map[string]*NodeRouterStats
+
+	// Topology caches, rebuilt on node add/drain/retire: routableIdx and
+	// liveIdx index into nodes in creation order; topoEpoch invalidates the
+	// per-function rendezvous rankings in rankCache.
+	topoEpoch   uint64
+	routableIdx []int32
+	liveIdx     []int32
+	rankEpoch   []uint64
+	rankCache   [][]int32
+	rankW       []uint64 // ranking-sort scratch
+
+	// hasObservers gates materializing a Record for the observer surfaces;
+	// without observers the dispatch path only touches columns.
+	hasObservers bool
 }
 
 // New builds a cluster from measured function profiles (see Profile).
@@ -354,7 +388,22 @@ func New(cfg Config, profiles map[string]FnProfile) (*Cluster, error) {
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("cluster: no function profiles")
 	}
-	c := &Cluster{cfg: cfg, profiles: profiles, routerByNode: make(map[string]*NodeRouterStats)}
+	c := &Cluster{cfg: cfg, topoEpoch: 1}
+	c.fnNames = make([]string, 0, len(profiles))
+	for fn := range profiles {
+		c.fnNames = append(c.fnNames, fn)
+	}
+	sort.Strings(c.fnNames)
+	c.fnIdx = make(map[string]int32, len(c.fnNames))
+	c.profs = make([]FnProfile, len(c.fnNames))
+	for i, fn := range c.fnNames {
+		c.fnIdx[fn] = int32(i)
+		c.profs[i] = profiles[fn]
+	}
+	c.rankEpoch = make([]uint64, len(c.fnNames))
+	c.rankCache = make([][]int32, len(c.fnNames))
+	c.report.Records.fnNames = c.fnNames
+	c.hasObservers = cfg.XRay != nil || cfg.FleetObs != nil || cfg.Metrics != nil || cfg.Recorder != nil
 	for _, h := range cfg.Hosts {
 		c.addNode(h)
 	}
@@ -370,14 +419,16 @@ func (c *Cluster) addNode(h fleet.HostSpec) *node {
 	c.nextID++
 	n := &node{
 		id:            fmt.Sprintf("n%02d", c.nextID),
+		idx:           int32(len(c.nodes)),
 		host:          h,
 		cores:         c.cfg.Cores,
 		free:          c.cfg.Cores,
-		resident:      make(map[string]int64),
-		lastUsed:      make(map[string]simtime.Duration),
-		lastColdSetup: make(map[string]simtime.Duration),
+		resident:      make([]int64, len(c.fnNames)),
+		lastUsed:      make([]simtime.Duration, len(c.fnNames)),
+		lastColdSetup: make([]simtime.Duration, len(c.fnNames)),
 		alive:         true,
 	}
+	n.router.Node = n.id
 	// The keep-alive cache spans the node's full tier capacities: warm VMs
 	// are what the memory is for.
 	cache, err := keepalive.New(h.FastBytes, h.SlowBytes, c.cfg.Cost)
@@ -388,54 +439,74 @@ func (c *Cluster) addNode(h fleet.HostSpec) *node {
 	}
 	n.cache = cache
 	c.nodes = append(c.nodes, n)
-	if live := len(c.live()); live > c.report.PeakNodes {
+	c.report.Records.nodeNames = append(c.report.Records.nodeNames, n.id)
+	c.rebuildTopo()
+	if live := len(c.liveIdx); live > c.report.PeakNodes {
 		c.report.PeakNodes = live
 	}
 	if m := c.cfg.Metrics; m != nil {
-		m.Gauge(telemetry.MetricClusterNodes).Set(int64(len(c.live())))
+		m.Gauge(telemetry.MetricClusterNodes).Set(int64(len(c.liveIdx)))
 	}
 	return n
 }
 
-// live returns the nodes still part of the fleet, in creation order.
-func (c *Cluster) live() []*node {
-	out := make([]*node, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		if n.alive {
-			out = append(out, n)
+// rebuildTopo refreshes the cached live/routable index sets and bumps the
+// epoch that invalidates cached rendezvous rankings. Called on every
+// topology change (node add, drain start, retirement); between changes the
+// routing hot path reuses the caches allocation-free.
+func (c *Cluster) rebuildTopo() {
+	c.topoEpoch++
+	c.routableIdx = c.routableIdx[:0]
+	c.liveIdx = c.liveIdx[:0]
+	for i, n := range c.nodes {
+		if !n.alive {
+			continue
+		}
+		c.liveIdx = append(c.liveIdx, int32(i))
+		if !n.draining {
+			c.routableIdx = append(c.routableIdx, int32(i))
 		}
 	}
-	return out
 }
 
-// routable returns the live nodes accepting new traffic.
-func (c *Cluster) routable() []*node {
-	out := make([]*node, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		if n.alive && !n.draining {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
-// Run replays the arrival schedule to completion and returns the report.
+// Run replays a materialized arrival schedule to completion and returns the
+// report. The schedule is validated upfront (an arrival for an unprofiled
+// function fails before any simulation), then fed through the streaming
+// core.
 func (c *Cluster) Run(arrivals []workload.ArrivalSpec) (*Report, error) {
-	for _, a := range arrivals {
-		if _, ok := c.profiles[a.Function]; !ok {
-			return nil, fmt.Errorf("cluster: arrival for unprofiled function %q", a.Function)
+	for i := range arrivals {
+		if _, ok := c.fnIdx[arrivals[i].Function]; !ok {
+			return nil, fmt.Errorf("cluster: arrival for unprofiled function %q", arrivals[i].Function)
 		}
-		c.push(&event{at: a.At, kind: evArrival, a: a})
 	}
-	c.outstanding = int64(len(arrivals))
+	return c.RunStream(workload.SliceSource(arrivals))
+}
+
+// RunStream drives the simulation from a pull-based arrival source: at most
+// one pending arrival lives in the event heap at a time, so a day-long
+// schedule is simulated in O(fleet) memory plus the columnar record log.
+// The result is byte-identical to Run on the materialized equivalent (the
+// event heap orders arrivals ahead of same-time simulation events, exactly
+// as the materialized pre-push did — see the priority comment in heap.go).
+// An arrival for an unprofiled function fails the run at pull time.
+func (c *Cluster) RunStream(src workload.Source) (*Report, error) {
+	if err := c.pullArrival(src); err != nil {
+		return nil, err
+	}
 	if c.cfg.Autoscale.Enabled {
-		c.push(&event{at: c.cfg.Autoscale.Tick, kind: evScaleTick})
+		c.pushEvent(event{at: c.cfg.Autoscale.Tick, kind: evScaleTick, pri: priLoop})
 	}
-	for len(c.queue) > 0 {
-		e := heap.Pop(&c.queue).(*event)
+	for c.heap.len() > 0 {
+		e := c.heap.pop()
 		c.now = e.at
 		switch e.kind {
 		case evArrival:
+			// Replenish the pending arrival before handling this one; the
+			// next arrival is strictly later in heap order (same time still
+			// sorts after by sequence), so it cannot affect this event.
+			if err := c.pullArrival(src); err != nil {
+				return nil, err
+			}
 			if c.cfg.DecideCost > 0 {
 				// Serial front end: the decision starts when the router
 				// frees up and the arrival lands on its node when the
@@ -445,30 +516,29 @@ func (c *Cluster) Run(arrivals []workload.ArrivalSpec) (*Report, error) {
 					start = c.routerFree
 				}
 				c.routerFree = start + c.cfg.DecideCost
-				c.push(&event{at: c.routerFree, kind: evRouted, a: e.a, rq: start - c.now})
+				c.pushEvent(event{at: c.routerFree, kind: evRouted, pri: priLoop, a: e.a, fid: e.fid, rq: start - c.now})
 				break
 			}
-			c.routeArrival(e.a, 0)
+			c.routeArrival(e.a, e.fid, 0)
 		case evRouted:
-			c.routeArrival(e.a, e.rq)
+			c.routeArrival(e.a, e.fid, e.rq)
 		case evCompletion:
-			e.n.free++
+			n := c.nodes[e.node]
+			n.free++
 			c.burn.Record(c.now, e.latency)
-			c.outstanding--
+			c.remaining--
 			// The horizon is the last completion, not the last event, so a
 			// trailing autoscaler tick does not dilute Throughput.
 			if c.now > c.report.Horizon {
 				c.report.Horizon = c.now
 			}
-			for e.n.free > 0 && len(e.n.waiting) > 0 {
-				q := e.n.waiting[0]
-				e.n.waiting = e.n.waiting[1:]
-				c.dispatch(e.n, q)
+			for n.free > 0 && n.waiting.len() > 0 {
+				c.dispatch(n, n.waiting.pop())
 			}
 		case evScaleTick:
 			c.onScaleTick()
-			if c.outstanding > 0 {
-				c.push(&event{at: c.now + c.cfg.Autoscale.Tick, kind: evScaleTick})
+			if c.remaining > 0 || !c.exhausted {
+				c.pushEvent(event{at: c.now + c.cfg.Autoscale.Tick, kind: evScaleTick, pri: priLoop})
 			}
 		}
 		c.cfg.Recorder.RecordAt(c.now)
@@ -486,31 +556,51 @@ func (c *Cluster) Run(arrivals []workload.ArrivalSpec) (*Report, error) {
 			Final:       n.alive,
 		})
 	}
-	c.report.FinalNodes = len(c.live())
+	c.report.FinalNodes = len(c.liveIdx)
 	c.report.Router.PerNode = c.perNodeStats()
 	return &c.report, nil
 }
 
+// pullArrival moves the source's next arrival into the event heap (no-op
+// once the source is dry).
+func (c *Cluster) pullArrival(src workload.Source) error {
+	if c.exhausted {
+		return nil
+	}
+	a, ok := src.Next()
+	if !ok {
+		c.exhausted = true
+		return nil
+	}
+	fid, ok := c.fnIdx[a.Function]
+	if !ok {
+		return fmt.Errorf("cluster: arrival for unprofiled function %q", a.Function)
+	}
+	c.remaining++
+	c.pushEvent(event{at: a.At, kind: evArrival, pri: priArrival, a: a, fid: fid})
+	return nil
+}
+
 // routeArrival routes one arrival (rq is the front-end wait it already
 // paid) and dispatches or enqueues it on the chosen node.
-func (c *Cluster) routeArrival(a workload.ArrivalSpec, rq simtime.Duration) {
-	res := c.route(a.Function)
-	hit := c.countRoute(res, a.Function)
+func (c *Cluster) routeArrival(a workload.ArrivalSpec, fid int32, rq simtime.Duration) {
+	res := c.route(fid, a.Function)
+	hit := c.countRoute(res, fid)
 	if f := c.cfg.FleetObs; f != nil {
 		f.RouteDecision(fleetobs.Decision{
 			At:          c.now,
 			Function:    a.Function,
 			Node:        res.n.id,
-			Reason:      res.reason,
+			Reason:      routeReasons[res.reason],
 			Hit:         hit,
 			RouterQueue: rq,
 			Decide:      c.decideCost(),
 			Candidates:  res.cands,
 		})
 	}
-	q := queued{a: a, enq: c.now, rq: rq, decide: c.decideCost(), route: res.reason}
+	q := queued{a: a, fid: fid, enq: c.now, rq: rq, decide: c.decideCost(), route: res.reason}
 	if res.n.free == 0 {
-		res.n.waiting = append(res.n.waiting, q)
+		res.n.waiting.push(q)
 	} else {
 		c.dispatch(res.n, q)
 	}
@@ -540,7 +630,7 @@ func (c *Cluster) nodeStates() []fleetobs.NodeSample {
 		if n.alive {
 			fast, slow := n.cache.Occupancy()
 			s.Running = n.cores - n.free
-			s.Queued = len(n.waiting)
+			s.Queued = n.waiting.len()
 			s.DiskUsed, s.DiskCap = n.diskUsed, c.cfg.DiskBytes
 			s.FastUsed, s.FastCap = fast, n.host.FastBytes
 			s.SlowUsed, s.SlowCap = slow, n.host.SlowBytes
@@ -550,44 +640,39 @@ func (c *Cluster) nodeStates() []fleetobs.NodeSample {
 	return out
 }
 
-func (c *Cluster) push(e *event) {
+func (c *Cluster) pushEvent(e event) {
 	e.seq = c.seq
 	c.seq++
-	heap.Push(&c.queue, e)
+	c.heap.push(e)
 }
 
 // countRoute updates the fleet-wide and per-node router statistics for one
 // decision and reports whether the chosen node already held the function.
-func (c *Cluster) countRoute(res routeResult, fn string) bool {
+func (c *Cluster) countRoute(res routeResult, fid int32) bool {
 	n := res.n
 	c.report.Router.Decisions++
-	hit := n.cache.Contains(fn) || n.resident[fn] > 0
+	hit := n.cache.Contains(c.fnNames[fid]) || n.resident[fid] > 0
 	if hit {
 		c.report.Router.AffinityHits++
 	}
 	// Spills keeps its original meaning — diverted off the hash-primary —
 	// so a shed that happens to land on the primary counts as a shed only.
-	spilled := res.reason == fleetobs.ReasonSpill || (res.reason == fleetobs.ReasonShed && res.diverted)
+	spilled := res.reason == routeSpill || (res.reason == routeShed && res.diverted)
 	if spilled {
 		c.report.Router.Spills++
 	}
-	if res.reason == fleetobs.ReasonShed {
+	if res.reason == routeShed {
 		c.report.Router.Sheds++
 	}
-	pn := c.routerByNode[n.id]
-	if pn == nil {
-		pn = &NodeRouterStats{Node: n.id}
-		c.routerByNode[n.id] = pn
-	}
-	pn.Decisions++
+	n.router.Decisions++
 	if hit {
-		pn.AffinityHits++
+		n.router.AffinityHits++
 	}
 	if spilled {
-		pn.Spills++
+		n.router.Spills++
 	}
-	if res.reason == fleetobs.ReasonShed {
-		pn.Sheds++
+	if res.reason == routeShed {
+		n.router.Sheds++
 	}
 	if m := c.cfg.Metrics; m != nil {
 		m.Counter(telemetry.MetricRouterDecisions).Add(1)
@@ -597,18 +682,21 @@ func (c *Cluster) countRoute(res routeResult, fn string) bool {
 		if spilled {
 			m.Counter(telemetry.MetricRouterSpills).Add(1)
 		}
-		if res.reason == fleetobs.ReasonShed {
+		if res.reason == routeShed {
 			m.Counter(telemetry.MetricRouterSheds).Add(1)
 		}
 	}
 	return hit
 }
 
-// perNodeStats materializes the per-node router counters in id order.
+// perNodeStats materializes the per-node router counters in id order,
+// including only nodes that were actually routed to.
 func (c *Cluster) perNodeStats() []NodeRouterStats {
-	out := make([]NodeRouterStats, 0, len(c.routerByNode))
-	for _, pn := range c.routerByNode {
-		out = append(out, *pn)
+	out := make([]NodeRouterStats, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.router.Decisions > 0 {
+			out = append(out, n.router)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
@@ -618,79 +706,96 @@ func (c *Cluster) perNodeStats() []NodeRouterStats {
 func (c *Cluster) dispatch(n *node, q queued) {
 	n.free--
 	a := q.a
-	prof := c.profiles[a.Function]
+	fid := q.fid
+	prof := &c.profs[fid]
 	lv := int(a.Level)
 
-	rec := Record{
-		Function:    a.Function,
-		Node:        n.id,
-		Level:       lv,
-		Arrival:     q.enq,
-		Route:       q.route,
-		RouterQueue: q.rq,
-		Decide:      q.decide,
-		QueueDelay:  c.now - q.enq,
-	}
-	if _, hit := n.cache.Take(a.Function); hit {
-		rec.Setup = c.cfg.ResumeCost
-		rec.Exec = prof.WarmExec[lv]
+	var pull, setup, exec simtime.Duration
+	var cold bool
+	if _, warm := n.cache.Take(a.Function); warm {
+		setup = c.cfg.ResumeCost
+		exec = prof.WarmExec[lv]
 	} else {
-		rec.Cold = true
+		cold = true
 		n.cold++
-		if n.resident[a.Function] == 0 {
-			rec.Pull = c.pullSnapshot(n, a.Function, prof.SnapshotBytes)
+		if n.resident[fid] == 0 {
+			pull = c.pullSnapshot(n, fid, prof.SnapshotBytes)
 		}
-		rec.Setup = prof.ColdSetup[lv]
-		rec.Exec = prof.ColdExec[lv]
-		n.lastColdSetup[a.Function] = rec.Setup
+		setup = prof.ColdSetup[lv]
+		exec = prof.ColdExec[lv]
+		n.lastColdSetup[fid] = setup
 	}
-	n.lastUsed[a.Function] = c.now
+	n.lastUsed[fid] = c.now
 	n.invocations++
 
-	work := rec.Pull + rec.Setup + rec.Exec
+	qd := c.now - q.enq
+	work := pull + setup + exec
 	finish := c.now + work
+	latency := q.rq + q.decide + qd + work
 	n.busy += work
 	c.report.BusyCoreTime += work
-	c.report.Records = append(c.report.Records, rec)
-	c.push(&event{at: finish, kind: evCompletion, n: n, latency: rec.Latency()})
+	c.report.Records.push(fid, n.idx, uint8(lv), q.route, cold,
+		q.enq, q.rq, q.decide, qd, pull, setup, exec)
+	c.pushEvent(event{at: finish, kind: evCompletion, pri: priLoop, node: n.idx, latency: latency})
 
-	c.cfg.FleetObs.Invocation(n.id, rec.Latency(), rec.Cold)
-	c.observeInvocation(n, rec)
+	if c.hasObservers {
+		rec := Record{
+			Function:    a.Function,
+			Node:        n.id,
+			Level:       lv,
+			Arrival:     q.enq,
+			Route:       routeReasons[q.route],
+			RouterQueue: q.rq,
+			Decide:      q.decide,
+			QueueDelay:  qd,
+			Pull:        pull,
+			Setup:       setup,
+			Exec:        exec,
+			Cold:        cold,
+		}
+		c.cfg.FleetObs.Invocation(n.id, latency, cold)
+		c.observeInvocation(n, rec)
+	}
 
 	// Keep the finished VM warm on the node's tiers until evicted; the
 	// admission happens at dispatch (same convention as sched) so back-to-
 	// back arrivals see the warm VM.
-	cold := n.lastColdSetup[a.Function]
-	if cold == 0 {
-		cold = rec.Setup
+	coldSetup := n.lastColdSetup[fid]
+	if coldSetup == 0 {
+		coldSetup = setup
 	}
-	n.cache.Admit(keepalive.ItemFor(a.Function, prof.FastPages, prof.SlowPages, cold))
+	n.cache.AdmitQuiet(keepalive.ItemFor(a.Function, prof.FastPages, prof.SlowPages, coldSetup))
 }
 
 // pullSnapshot fetches fn's snapshot onto n's local store, evicting LRU
 // snapshots to make room, and returns the transfer time.
-func (c *Cluster) pullSnapshot(n *node, fn string, bytes int64) simtime.Duration {
+func (c *Cluster) pullSnapshot(n *node, fid int32, bytes int64) simtime.Duration {
 	if bytes > c.cfg.DiskBytes {
 		// A snapshot larger than the store streams through without ever
 		// becoming resident; every cold start at this node re-pulls.
 		return simtime.Duration(bytes * int64(simtime.Second) / c.cfg.PullBytesPerSec)
 	}
 	for n.diskUsed+bytes > c.cfg.DiskBytes {
-		victim := ""
+		// Victim = minimum (lastUsed, name); the ascending-fid scan with a
+		// strict comparison lands on the smallest name among ties because
+		// fid order is name order.
+		victim := int32(-1)
 		var oldest simtime.Duration
-		for name := range n.resident {
-			at := n.lastUsed[name]
-			if victim == "" || at < oldest || (at == oldest && name < victim) {
-				victim, oldest = name, at
+		for f := range n.resident {
+			if n.resident[f] == 0 {
+				continue
+			}
+			if at := n.lastUsed[f]; victim < 0 || at < oldest {
+				victim, oldest = int32(f), at
 			}
 		}
-		if victim == "" {
+		if victim < 0 {
 			break
 		}
 		n.diskUsed -= n.resident[victim]
-		delete(n.resident, victim)
+		n.resident[victim] = 0
 	}
-	n.resident[fn] = bytes
+	n.resident[fid] = bytes
 	n.diskUsed += bytes
 	c.report.Pulls++
 	dur := simtime.Duration(bytes * int64(simtime.Second) / c.cfg.PullBytesPerSec)
@@ -714,11 +819,11 @@ func (c *Cluster) observeInvocation(n *node, rec Record) {
 	if r := c.cfg.Recorder; r != nil {
 		// One heatmap row per (function, node): the fleet dashboard shows
 		// where each function's warm state concentrates.
+		prof := c.profs[c.fnIdx[rec.Function]]
 		var slow []guest.Region
-		if prof := c.profiles[rec.Function]; prof.SlowPages > 0 {
+		if prof.SlowPages > 0 {
 			slow = []guest.Region{{Start: 0, Pages: prof.SlowPages}}
 		}
-		prof := c.profiles[rec.Function]
 		cause := "cluster:warm"
 		if rec.Cold {
 			cause = "cluster:cold"

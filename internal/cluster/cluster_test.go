@@ -76,9 +76,10 @@ func testArrivals(t *testing.T, proc workload.Process, meanIAT simtime.Duration)
 func renderReport(rep *Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "records=%d horizon=%d busy=%d pulls=%d pulltime=%d\n",
-		len(rep.Records), int64(rep.Horizon), int64(rep.BusyCoreTime), rep.Pulls, int64(rep.PullTime))
+		rep.Records.Len(), int64(rep.Horizon), int64(rep.BusyCoreTime), rep.Pulls, int64(rep.PullTime))
 	fmt.Fprintf(&b, "router=%+v peak=%d final=%d\n", rep.Router, rep.PeakNodes, rep.FinalNodes)
-	for _, r := range rep.Records {
+	for i := 0; i < rep.Records.Len(); i++ {
+		r := rep.Records.At(i)
 		fmt.Fprintf(&b, "%s %s %s %d %d %d %d %d %d %d %v\n",
 			r.Function, r.Node, r.Route, int64(r.Arrival), int64(r.RouterQueue), int64(r.Decide),
 			int64(r.QueueDelay), int64(r.Pull), int64(r.Setup), int64(r.Exec), r.Cold)

@@ -28,8 +28,8 @@ func TestClusterBudgetsBalance(t *testing.T) {
 		rep := runOnce(t, cfg, arrivals)
 
 		buds := col.Drain()
-		if len(buds) != len(rep.Records) {
-			t.Fatalf("decide=%v: %d budgets for %d records", decide, len(buds), len(rep.Records))
+		if len(buds) != rep.Records.Len() {
+			t.Fatalf("decide=%v: %d budgets for %d records", decide, len(buds), rep.Records.Len())
 		}
 		var sawRouterQueue, sawDecide bool
 		for _, b := range buds {
@@ -58,10 +58,14 @@ func TestClusterBudgetsBalance(t *testing.T) {
 			t.Error("backed-up router charged no router.queue segment")
 		}
 		// The record's own arithmetic agrees with the budget decomposition.
-		for i, rec := range rep.Records {
+		for i := 0; i < rep.Records.Len(); i++ {
+			rec := rep.Records.At(i)
 			want := rec.RouterQueue + rec.Decide + rec.QueueDelay + rec.Pull + rec.Setup + rec.Exec
 			if rec.Latency() != want {
 				t.Fatalf("record %d latency %v != field sum %v", i, rec.Latency(), want)
+			}
+			if got := rep.Records.Latency(i); got != want {
+				t.Fatalf("record %d columnar latency %v != field sum %v", i, got, want)
 			}
 		}
 		if decide > 0 {
@@ -152,8 +156,8 @@ func TestFleetObsTrace(t *testing.T) {
 	for _, n := range v.Nodes {
 		inv += n.Invocations
 	}
-	if inv != int64(len(rep.Records)) {
-		t.Fatalf("view counted %d invocations, report has %d", inv, len(rep.Records))
+	if inv != int64(rep.Records.Len()) {
+		t.Fatalf("view counted %d invocations, report has %d", inv, rep.Records.Len())
 	}
 
 	var a, b bytes.Buffer

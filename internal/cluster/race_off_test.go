@@ -1,0 +1,7 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector is on; allocation-count
+// tests skip under -race because instrumentation allocates.
+const raceEnabled = false

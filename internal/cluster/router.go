@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"toss/internal/fleetobs"
 )
@@ -49,6 +48,26 @@ func ParsePolicy(s string) (Policy, error) {
 	return 0, fmt.Errorf("cluster: unknown router policy %q (want rr, least, or affinity)", s)
 }
 
+// Routing reasons are stored as single-byte codes on the hot path (queued
+// arrivals, the Records route column) and decoded to the fleetobs.Reason*
+// strings at the observer and report boundaries.
+const (
+	routeRR uint8 = iota
+	routeLeast
+	routeAffinity
+	routeSpill
+	routeShed
+)
+
+// routeReasons decodes a reason code to its fleetobs string.
+var routeReasons = [...]string{
+	routeRR:       fleetobs.ReasonRoundRobin,
+	routeLeast:    fleetobs.ReasonLeastLoaded,
+	routeAffinity: fleetobs.ReasonAffinity,
+	routeSpill:    fleetobs.ReasonSpill,
+	routeShed:     fleetobs.ReasonShed,
+}
+
 // RouterStats counts front-end routing decisions.
 type RouterStats struct {
 	// Decisions is the total number of routed arrivals.
@@ -75,13 +94,13 @@ type NodeRouterStats struct {
 	Sheds        int64
 }
 
-// routeResult is one routing decision: the chosen node, the reason
-// (fleetobs.Reason*), whether the choice was diverted off the affinity
+// routeResult is one routing decision: the chosen node, the reason code
+// (routeReasons index), whether the choice was diverted off the affinity
 // primary, and — only when a fleetobs recorder is attached — the ranked
 // candidate list the router considered.
 type routeResult struct {
 	n        *node
-	reason   string
+	reason   uint8
 	diverted bool
 	cands    []fleetobs.Candidate
 }
@@ -89,16 +108,18 @@ type routeResult struct {
 // candidates snapshots the considered nodes for the decision trace; nil
 // unless a fleetobs recorder is attached (the hot path stays
 // allocation-free without one).
-func (c *Cluster) candidates(fn string, nodes []*node) []fleetobs.Candidate {
+func (c *Cluster) candidates(fid int32, idxs []int32) []fleetobs.Candidate {
 	if c.cfg.FleetObs == nil {
 		return nil
 	}
-	out := make([]fleetobs.Candidate, len(nodes))
-	for i, nd := range nodes {
+	fn := c.fnNames[fid]
+	out := make([]fleetobs.Candidate, len(idxs))
+	for i, idx := range idxs {
+		nd := c.nodes[idx]
 		out[i] = fleetobs.Candidate{
 			Node:     nd.id,
 			Inflight: nd.inflight(),
-			Hit:      nd.cache.Contains(fn) || nd.resident[fn] > 0,
+			Hit:      nd.cache.Contains(fn) || nd.resident[fid] > 0,
 		}
 	}
 	return out
@@ -106,48 +127,58 @@ func (c *Cluster) candidates(fn string, nodes []*node) []fleetobs.Candidate {
 
 // route picks the target node for one arrival among the live, non-draining
 // nodes. It never returns a nil node while the cluster has at least one
-// routable node.
-func (c *Cluster) route(fn string) routeResult {
-	cands := c.routable()
+// routable node. The candidate sets are the cached topology indexes, and
+// affinity rankings are cached per function between topology changes, so a
+// steady-state decision performs no allocation.
+func (c *Cluster) route(fid int32, fn string) routeResult {
+	cands := c.routableIdx
+	fallback := false
 	if len(cands) == 0 {
 		// Every node is draining (autoscaler pathology); fall back to all
 		// live nodes so traffic is never dropped.
-		cands = c.live()
+		cands = c.liveIdx
+		fallback = true
 	}
 	switch c.cfg.Router {
 	case RouteLeastLoaded:
-		best := cands[0]
-		for _, nd := range cands[1:] {
-			if nd.inflight() < best.inflight() {
+		best := c.nodes[cands[0]]
+		for _, i := range cands[1:] {
+			if nd := c.nodes[i]; nd.inflight() < best.inflight() {
 				best = nd
 			}
 		}
-		return routeResult{n: best, reason: fleetobs.ReasonLeastLoaded, cands: c.candidates(fn, cands)}
+		return routeResult{n: best, reason: routeLeast, cands: c.candidates(fid, cands)}
 	case RouteAffinity:
-		ranked := rendezvousRank(fn, cands)
-		rc := c.candidates(fn, ranked)
-		for i, nd := range ranked {
+		var ranked []int32
+		if fallback {
+			ranked = c.buildRanking(fn, cands, nil)
+		} else {
+			ranked = c.ranking(fid, fn)
+		}
+		rc := c.candidates(fid, ranked)
+		for i, idx := range ranked {
+			nd := c.nodes[idx]
 			if !c.overloaded(nd) {
-				reason := fleetobs.ReasonAffinity
+				reason := routeAffinity
 				if i > 0 {
-					reason = fleetobs.ReasonSpill
+					reason = routeSpill
 				}
 				return routeResult{n: nd, reason: reason, diverted: i > 0, cands: rc}
 			}
 		}
 		// All overloaded: shed to the least-loaded of the ranked set so the
 		// hot spot does not collapse a single node.
-		best := ranked[0]
-		for _, nd := range ranked[1:] {
-			if nd.inflight() < best.inflight() {
+		best := c.nodes[ranked[0]]
+		for _, idx := range ranked[1:] {
+			if nd := c.nodes[idx]; nd.inflight() < best.inflight() {
 				best = nd
 			}
 		}
-		return routeResult{n: best, reason: fleetobs.ReasonShed, diverted: best != ranked[0], cands: rc}
+		return routeResult{n: best, reason: routeShed, diverted: best != c.nodes[ranked[0]], cands: rc}
 	default: // RouteRoundRobin
-		n := cands[c.rr%len(cands)]
+		n := c.nodes[cands[c.rr%len(cands)]]
 		c.rr++
-		return routeResult{n: n, reason: fleetobs.ReasonRoundRobin, cands: c.candidates(fn, cands)}
+		return routeResult{n: n, reason: routeRR, cands: c.candidates(fid, cands)}
 	}
 }
 
@@ -158,6 +189,58 @@ func (c *Cluster) route(fn string) routeResult {
 // secondary warm state).
 func (c *Cluster) overloaded(n *node) bool {
 	return n.inflight() >= c.cfg.Cores
+}
+
+// ranking returns fn's rendezvous ranking over the routable set, rebuilding
+// the cached copy only when the topology epoch moved.
+func (c *Cluster) ranking(fid int32, fn string) []int32 {
+	if c.rankEpoch[fid] == c.topoEpoch {
+		return c.rankCache[fid]
+	}
+	c.rankCache[fid] = c.buildRanking(fn, c.routableIdx, c.rankCache[fid][:0])
+	c.rankEpoch[fid] = c.topoEpoch
+	return c.rankCache[fid]
+}
+
+// buildRanking appends idxs to dst ordered by highest-random-weight hash
+// for fn (weight descending, node id ascending on ties) — the same ranking
+// rendezvousRank produces, computed over node indexes with an inline hash
+// so rebuilds don't allocate beyond dst itself.
+func (c *Cluster) buildRanking(fn string, idxs []int32, dst []int32) []int32 {
+	w := c.rankW[:0]
+	for _, i := range idxs {
+		dst = append(dst, i)
+		w = append(w, rendezvousWeight(fn, c.nodes[i].id))
+	}
+	c.rankW = w
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && (w[j] > w[j-1] || (w[j] == w[j-1] && c.nodes[dst[j]].id < c.nodes[dst[j-1]].id)); j-- {
+			w[j], w[j-1] = w[j-1], w[j]
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
+}
+
+// rendezvousWeight is the highest-random-weight hash for (fn, node): FNV-1a
+// over fn|id, inlined so the routing path never allocates a hasher.
+func rendezvousWeight(fn, id string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(fn); i++ {
+		h ^= uint64(fn[i])
+		h *= prime64
+	}
+	h ^= uint64('|')
+	h *= prime64
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return h
 }
 
 // rendezvousRank orders nodes by highest-random-weight hash for fn. Every
@@ -171,11 +254,7 @@ func rendezvousRank(fn string, nodes []*node) []*node {
 	}
 	s := make([]scored, len(nodes))
 	for i, nd := range nodes {
-		h := fnv.New64a()
-		h.Write([]byte(fn))
-		h.Write([]byte{'|'})
-		h.Write([]byte(nd.id))
-		s[i] = scored{nd, h.Sum64()}
+		s[i] = scored{nd, rendezvousWeight(fn, nd.id)}
 	}
 	// Insertion sort by weight desc, id asc on ties: node counts are small
 	// and the ranking must be deterministic.

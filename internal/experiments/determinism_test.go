@@ -18,11 +18,13 @@ import (
 // and the trace/layout/region memos.
 func TestParallelRunAllByteIdentical(t *testing.T) {
 	serial := NewSuite()
+	serial.ClusterScale = 0.02 // ext10 at 2% of the day; full scale is benchmarked, not tested
 	serialTables, err := serial.RunAll()
 	if err != nil {
 		t.Fatal(err)
 	}
 	parallel := NewSuite()
+	parallel.ClusterScale = 0.02
 	parallel.Workers = 8
 	if parallel.Pool() == par.Serial {
 		t.Fatal("Workers=8 suite should not run on the serial pool")
@@ -58,6 +60,28 @@ func TestParallelRunAllByteIdentical(t *testing.T) {
 		if sj != pj {
 			t.Errorf("%s: JSON rendering differs between serial and parallel runs", st.ID)
 		}
+	}
+}
+
+// TestExt10SerialParallelIdentical pins the streamed million-day experiment
+// specifically: a serial run and an 8-worker run (where the two fleets'
+// event loops execute concurrently) must render byte-identically. The
+// arrival stream is pulled lazily inside each cell, so this also covers
+// generator determinism under concurrent cells.
+func TestExt10SerialParallelIdentical(t *testing.T) {
+	render := func(workers int) string {
+		s := NewSuite()
+		s.ClusterScale = 0.02
+		s.Workers = workers
+		tab, err := s.Run("ext10")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	serial, parallel := render(0), render(8)
+	if serial != parallel {
+		t.Errorf("ext10 rendering differs between serial and 8-worker runs:\nserial:\n%s\nparallel:\n%s", serial, parallel)
 	}
 }
 

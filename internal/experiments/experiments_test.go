@@ -56,7 +56,7 @@ func TestTableCSVAndJSON(t *testing.T) {
 
 func TestIDsAndUnknown(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
+	if len(ids) != 22 {
 		t.Fatalf("IDs() = %v", ids)
 	}
 	s := fastSuite()
@@ -355,6 +355,47 @@ func TestExt6FaaSnapCoversREAP(t *testing.T) {
 		mincore, _ := strconv.ParseFloat(row[2], 64)
 		if mincore < uffd {
 			t.Errorf("%s: mincore WS %v below uffd %v", row[0], mincore, uffd)
+		}
+	}
+}
+
+func TestExt10ShapesHold(t *testing.T) {
+	s := fastSuite()
+	s.ClusterScale = 0.02 // ~25k invocations instead of the full 1.26M day
+	tab, err := s.Run("ext10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || tab.Rows[0][0] != "toss" || tab.Rows[1][0] != "dram" {
+		t.Fatalf("ext10 rows = %v", tab.Rows)
+	}
+	tossInv, err := strconv.Atoi(tab.Rows[0][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dramInv, err := strconv.Atoi(tab.Rows[1][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both fleets replay the same streamed arrival schedule.
+	if tossInv != dramInv {
+		t.Errorf("invocation counts differ: toss %d, dram %d", tossInv, dramInv)
+	}
+	if tossInv < 10_000 {
+		t.Errorf("2%% day simulated only %d invocations, want >= 10k", tossInv)
+	}
+	for _, row := range tab.Rows {
+		p99, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p99 <= 0 {
+			t.Errorf("%s: p99 inflation %v, want > 0", row[0], p99)
+		}
+	}
+	for _, note := range tab.Notes {
+		if strings.HasPrefix(note, "WARNING") {
+			t.Errorf("ext10 warning at reduced scale: %s", note)
 		}
 	}
 }

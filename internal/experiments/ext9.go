@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"toss/internal/cluster"
@@ -12,6 +11,7 @@ import (
 	"toss/internal/par"
 	"toss/internal/sched"
 	"toss/internal/simtime"
+	"toss/internal/stats"
 	"toss/internal/workload"
 )
 
@@ -50,19 +50,16 @@ const (
 // ext9InflationP99 returns the p99 of per-invocation latency inflation over
 // a warm hit, across the steady-state window (arrivals past ext9Warmup).
 func ext9InflationP99(rep *cluster.Report, profiles map[string]cluster.FnProfile) simtime.Duration {
-	infl := make([]simtime.Duration, 0, len(rep.Records))
-	for _, rec := range rep.Records {
-		if rec.Arrival < ext9Warmup {
+	recs := &rep.Records
+	infl := make([]simtime.Duration, 0, recs.Len())
+	for i := 0; i < recs.Len(); i++ {
+		if recs.Arrival(i) < ext9Warmup {
 			continue
 		}
-		warm := profiles[rec.Function].WarmExec[rec.Level]
-		infl = append(infl, rec.Latency()-warm)
+		warm := profiles[recs.Function(i)].WarmExec[recs.Level(i)]
+		infl = append(infl, recs.Latency(i)-warm)
 	}
-	if len(infl) == 0 {
-		return 0
-	}
-	sort.Slice(infl, func(i, j int) bool { return infl[i] < infl[j] })
-	return infl[int(0.99*float64(len(infl)-1))]
+	return stats.NearestRankInPlace(infl, 99)
 }
 
 // ext9Hosts sizes one node's tier capacities from the measured warm

@@ -51,6 +51,12 @@ type Suite struct {
 	// Workers bounds the experiment engine's parallelism (see Pool). Zero
 	// or one runs everything serially. Set before the first Run.
 	Workers int
+	// ClusterScale scales the horizon of the day-scale cluster experiment
+	// (ext10). Zero or 1 runs the full simulated day (~1.26M invocations);
+	// CI smoke and the determinism tests set ~0.02 so -race runs stay
+	// quick. The arrival shape is scale-invariant, so reduced runs exercise
+	// the same code paths.
+	ClusterScale float64
 
 	poolOnce sync.Once
 	pool     *par.Pool
@@ -239,6 +245,7 @@ var registryOrder = []string{
 	"table1", "fig1", "fig2", "fig3", "fig5", "table2",
 	"fig6", "fig7", "fig8", "fig9", "sec6c3a", "sec6c3b",
 	"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9",
+	"ext10",
 }
 
 var registry = map[string]Runner{
@@ -263,6 +270,7 @@ var registry = map[string]Runner{
 	"ext7":    ExtPackingDensity,
 	"ext8":    ExtFaultTolerance,
 	"ext9":    ExtClusterScaling,
+	"ext10":   ExtMillionDay,
 }
 
 // IDs returns all experiment identifiers in canonical order.

@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"toss/internal/simtime"
+	"toss/internal/stats"
 )
 
 // Routing reasons recorded on decision events. RouteRoundRobin and
@@ -321,11 +322,5 @@ func (r *Recorder) nodeIDsLocked() []string {
 // percentile returns the p-th percentile of ls (which it sorts in place
 // on a copy), using the same nearest-rank convention as cluster.Report.
 func percentile(ls []simtime.Duration, p float64) simtime.Duration {
-	if len(ls) == 0 {
-		return 0
-	}
-	s := append([]simtime.Duration(nil), ls...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(p / 100 * float64(len(s)-1))
-	return s[idx]
+	return stats.NearestRankInPlace(append([]simtime.Duration(nil), ls...), p)
 }

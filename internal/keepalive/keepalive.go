@@ -73,6 +73,10 @@ type Cache struct {
 	clock              float64
 	items              map[string]*Item
 	stats              Stats
+	// free recycles Item slots removed from the map so steady-state
+	// admit/remove churn (one admit per dispatch in the cluster core) does
+	// not allocate.
+	free []*Item
 }
 
 // New returns a cache with the given per-tier byte capacities.
@@ -122,8 +126,11 @@ func (c *Cache) Take(fn string) (Item, bool) {
 	}
 	c.stats.Hits++
 	it.freq++
+	// Copy before remove: remove recycles *it onto the free list, and a
+	// later admit may overwrite that slot.
+	out := *it
 	c.remove(fn)
-	return *it, true
+	return out, true
 }
 
 // Drop removes an item without counting a lookup (idle expiry, teardown).
@@ -160,9 +167,24 @@ func (c *Cache) Flush() []string {
 // until it fits. It returns the evicted function names; admitted is false
 // when the item cannot fit even in an empty cache (it is then not kept).
 func (c *Cache) Admit(it Item) (evicted []string, admitted bool) {
+	_, admitted = c.admit(it, &evicted)
+	return evicted, admitted
+}
+
+// AdmitQuiet is Admit for callers that only need the eviction count: it
+// skips materializing the evicted-name slice, so the steady-state path is
+// allocation-free. The cluster core admits one item per dispatch and would
+// otherwise pay an allocation per eviction for names it never reads.
+func (c *Cache) AdmitQuiet(it Item) (evictions int, admitted bool) {
+	return c.admit(it, nil)
+}
+
+// admit is the shared insertion path; collect, when non-nil, receives the
+// evicted function names in eviction order.
+func (c *Cache) admit(it Item, collect *[]string) (evictions int, admitted bool) {
 	if it.FastBytes > c.fastCap || it.SlowBytes > c.slowCap {
 		c.stats.Rejected++
-		return nil, false
+		return 0, false
 	}
 	if old, ok := c.items[it.Function]; ok {
 		it.freq = old.freq
@@ -175,24 +197,38 @@ func (c *Cache) Admit(it Item) (evicted []string, admitted bool) {
 		victim := c.minPriority()
 		if victim == "" {
 			c.stats.Rejected++
-			return evicted, false
+			return evictions, false
 		}
 		// Greedy-dual: the clock advances to the evicted priority, aging
 		// the rest of the cache.
 		c.clock = c.items[victim].priority
 		c.remove(victim)
 		c.stats.Evictions++
-		evicted = append(evicted, victim)
+		evictions++
+		if collect != nil {
+			*collect = append(*collect, victim)
+		}
 	}
-	copied := it
-	copied.priority = copied.computePriority(c.clock, c.cost)
-	c.items[it.Function] = &copied
+	slot := c.slot()
+	*slot = it
+	slot.priority = slot.computePriority(c.clock, c.cost)
+	c.items[it.Function] = slot
 	c.fastUsed += it.FastBytes
 	c.slowUsed += it.SlowBytes
-	return evicted, true
+	return evictions, true
 }
 
-// remove drops an item and releases its capacity.
+// slot pops a recycled Item or allocates a fresh one.
+func (c *Cache) slot() *Item {
+	if n := len(c.free); n > 0 {
+		s := c.free[n-1]
+		c.free = c.free[:n-1]
+		return s
+	}
+	return new(Item)
+}
+
+// remove drops an item, releases its capacity, and recycles its slot.
 func (c *Cache) remove(fn string) {
 	it, ok := c.items[fn]
 	if !ok {
@@ -201,6 +237,7 @@ func (c *Cache) remove(fn string) {
 	c.fastUsed -= it.FastBytes
 	c.slowUsed -= it.SlowBytes
 	delete(c.items, fn)
+	c.free = append(c.free, it)
 }
 
 // minPriority returns the function with the lowest priority ("" if empty).

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestPercentileInPlaceMatchesPercentile pins the contract the conversion of
+// the report paths relies on: the in-place variant returns exactly what the
+// copying variant returns, for random inputs and the full range of p.
+func TestPercentileInPlaceMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		p := rng.Float64() * 100
+		want, err := Percentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch := append([]float64(nil), xs...)
+		got, err := PercentileInPlace(scratch, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: PercentileInPlace = %v, Percentile = %v", trial, got, want)
+		}
+		if !sort.Float64sAreSorted(scratch) {
+			t.Fatal("PercentileInPlace left its buffer unsorted")
+		}
+	}
+}
+
+// TestPercentileInPlaceEdges exercises the rejection and boundary paths.
+func TestPercentileInPlaceEdges(t *testing.T) {
+	if _, err := PercentileInPlace(nil, 50); err == nil {
+		t.Error("empty slice accepted")
+	}
+	for _, p := range []float64{-1, 101, math.NaN()} {
+		if _, err := PercentileInPlace([]float64{1, 2}, p); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+	if v, err := PercentileInPlace([]float64{7}, 99); err != nil || v != 7 {
+		t.Errorf("single element: %v, %v", v, err)
+	}
+	xs := []float64{3, 1, 2}
+	if v, err := PercentileInPlace(xs, 0); err != nil || v != 1 {
+		t.Errorf("p=0: %v, %v", v, err)
+	}
+	if v, err := PercentileInPlace(xs, 100); err != nil || v != 3 {
+		t.Errorf("p=100: %v, %v", v, err)
+	}
+	if v, err := PercentileInPlace([]float64{10, 20}, 50); err != nil || v != 15 {
+		t.Errorf("interpolation: %v, %v", v, err)
+	}
+}
+
+// TestNearestRankInPlace pins the nearest-rank convention shared by the
+// cluster report, fleetobs, and ext9: index int(p/100*(n-1)) of the sorted
+// slice, zero value for empty input, p clamped to [0,100].
+func TestNearestRankInPlace(t *testing.T) {
+	if got := NearestRankInPlace([]int64{}, 99); got != 0 {
+		t.Errorf("empty: %d", got)
+	}
+	if got := NearestRankInPlace([]int64{42}, 99); got != 42 {
+		t.Errorf("single: %d", got)
+	}
+	xs := []int64{50, 10, 40, 20, 30}
+	if got := NearestRankInPlace(xs, 50); got != 30 {
+		t.Errorf("p50 of 5 elems: %d, want 30", got)
+	}
+	// Buffer is sorted afterwards and reusable.
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			t.Fatal("buffer left unsorted")
+		}
+	}
+	if got := NearestRankInPlace(xs, 99); got != 40 {
+		t.Errorf("p99: %d, want 40 (index int(.99*4)=3)", got)
+	}
+	// Duplicates, reverse order, and clamping.
+	if got := NearestRankInPlace([]float64{5, 5, 5, 5}, 75); got != 5 {
+		t.Errorf("duplicates: %v", got)
+	}
+	if got := NearestRankInPlace([]int{9, 8, 7}, 200); got != 9 {
+		t.Errorf("p clamped high: %d", got)
+	}
+	if got := NearestRankInPlace([]int{9, 8, 7}, -3); got != 7 {
+		t.Errorf("p clamped low: %d", got)
+	}
+	if got := NearestRankInPlace([]int{9, 8, 7}, math.NaN()); got != 7 {
+		t.Errorf("NaN p: %d", got)
+	}
+
+	// Agreement with the exact formula on random input sizes.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = rng.Int63n(1000)
+		}
+		p := rng.Float64() * 100
+		ref := append([]int64(nil), xs...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		want := ref[int(p/100*float64(n-1))]
+		if got := NearestRankInPlace(xs, p); got != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, got, want)
+		}
+	}
+}

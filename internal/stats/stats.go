@@ -3,8 +3,10 @@
 package stats
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -64,27 +66,54 @@ func Max(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between closest ranks.
+// interpolation between closest ranks. The input is not modified (a copy is
+// sorted); hot paths that own their buffer should use PercentileInPlace.
 func Percentile(xs []float64, p float64) (float64, error) {
+	return PercentileInPlace(append([]float64(nil), xs...), p)
+}
+
+// PercentileInPlace is Percentile without the defensive copy: it sorts xs in
+// place, so callers can reuse one scratch buffer across calls instead of
+// allocating per percentile query.
+func PercentileInPlace(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, fmt.Errorf("stats: percentile of empty slice")
 	}
 	if math.IsNaN(p) || p < 0 || p > 100 {
 		return 0, fmt.Errorf("stats: percentile %v out of [0,100]", p)
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	if len(s) == 1 {
-		return s[0], nil
+	sort.Float64s(xs)
+	if len(xs) == 1 {
+		return xs[0], nil
 	}
-	rank := p / 100 * float64(len(s)-1)
+	rank := p / 100 * float64(len(xs)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s[lo], nil
+		return xs[lo], nil
 	}
 	frac := rank - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac, nil
+	return xs[lo]*(1-frac) + xs[hi]*frac, nil
+}
+
+// NearestRankInPlace sorts xs in place and returns the p-th percentile under
+// the nearest-rank convention the simulator's latency reports use
+// (index int(p/100 * (n-1)) of the sorted slice, no interpolation). It
+// returns the zero value for empty input and clamps p to [0, 100], so
+// report paths can call it without an error branch.
+func NearestRankInPlace[T cmp.Ordered](xs []T, p float64) T {
+	var zero T
+	if len(xs) == 0 {
+		return zero
+	}
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	slices.Sort(xs)
+	return xs[int(p/100*float64(len(xs)-1))]
 }
 
 // Variance returns the population variance of xs (0 for fewer than two

@@ -2,7 +2,6 @@ package workload
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 
@@ -33,6 +32,10 @@ const (
 	// concentrates on one hot function, so a fleet suddenly needs many
 	// copies of the same snapshot at once.
 	ProcFlash
+	// ProcDiurnalFlash overlays the same flash-crowd episodes on a diurnal
+	// baseline — the day-scale fleet shape (ext10): a day curve with
+	// periodic crowd spikes riding on it.
+	ProcDiurnalFlash
 )
 
 // String names the process.
@@ -44,13 +47,17 @@ func (p Process) String() string {
 		return "diurnal"
 	case ProcFlash:
 		return "flash"
+	case ProcDiurnalFlash:
+		return "diurnalflash"
 	default:
 		return fmt.Sprintf("Process(%d)", int(p))
 	}
 }
 
 // Processes returns every generator in canonical order.
-func Processes() []Process { return []Process{ProcPoisson, ProcDiurnal, ProcFlash} }
+func Processes() []Process {
+	return []Process{ProcPoisson, ProcDiurnal, ProcFlash, ProcDiurnalFlash}
+}
 
 // ParseProcess maps a CLI name to a Process.
 func ParseProcess(s string) (Process, error) {
@@ -59,7 +66,7 @@ func ParseProcess(s string) (Process, error) {
 			return p, nil
 		}
 	}
-	return 0, fmt.Errorf("workload: unknown arrival process %q (want poisson, diurnal, or flash)", s)
+	return 0, fmt.Errorf("workload: unknown arrival process %q (want poisson, diurnal, flash, or diurnalflash)", s)
 }
 
 // ArrivalSpec is one cluster-level invocation request: which function, which
@@ -126,99 +133,44 @@ func (c ArrivalsConfig) Validate() error {
 	return nil
 }
 
-// Arrivals generates the time-ordered schedule. Generation is
-// single-threaded and consumes one seeded rng stream in a fixed order, so
-// the output is byte-identical across runs and across whatever worker pool
-// the caller happens to run inside.
+// Arrivals generates the time-ordered schedule, materialized as a slice.
+// Generation is single-threaded and consumes one seeded rng stream in a
+// fixed order, so the output is byte-identical across runs and across
+// whatever worker pool the caller happens to run inside. For day-scale
+// schedules that should never live in memory at once, use NewStream — it
+// yields this exact sequence (a golden equivalence test pins that), one
+// arrival at a time.
 func Arrivals(c ArrivalsConfig) ([]ArrivalSpec, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	// The flash-family processes draw the whole baseline before the
+	// episodes on the same rng stream (the seed contract the golden file
+	// pins), so the materialized path runs the two generators back to back.
 	rng := rand.New(rand.NewSource(c.Seed))
 	var out []ArrivalSpec
-	switch c.Process {
-	case ProcDiurnal:
-		// Base Poisson at 2x the average rate, thinned by (1+sin)/2 over a
-		// day of Horizon/2.
-		day := float64(c.Horizon) / 2
-		t := simtime.Duration(0)
-		for {
-			t += expIAT(c.MeanIAT/2, rng)
-			if t >= c.Horizon {
-				break
-			}
-			keep := (1 + math.Sin(2*math.Pi*float64(t)/day)) / 2
-			if rng.Float64() < keep {
-				out = append(out, c.sample(t, -1, rng))
-			}
+	base := newBaseGen(&c, rng)
+	for {
+		a, ok := base.next()
+		if !ok {
+			break
 		}
-	case ProcFlash:
-		out = c.flash(rng)
-	default: // ProcPoisson
-		t := simtime.Duration(0)
+		out = append(out, a)
+	}
+	if c.Process == ProcFlash || c.Process == ProcDiurnalFlash {
+		eps := newEpisodeGen(&c, rng)
 		for {
-			t += expIAT(c.MeanIAT, rng)
-			if t >= c.Horizon {
+			a, ok := eps.next()
+			if !ok {
 				break
 			}
-			out = append(out, c.sample(t, -1, rng))
+			out = append(out, a)
 		}
 	}
 	// Stable sort on time only: equal-time arrivals keep generation order,
 	// which is itself deterministic.
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out, nil
-}
-
-// flash draws the Poisson baseline plus flash-crowd episodes. Episodes tile
-// the horizon at ~Horizon/6 spacing, each ~Horizon/24 long with jitter, and
-// each picks its own hot function; inside an episode an extra Poisson
-// process at (FlashFactor-1)x the base rate fires, FlashHotShare of it on
-// the hot function.
-func (c ArrivalsConfig) flash(rng *rand.Rand) []ArrivalSpec {
-	factor := c.FlashFactor
-	if factor <= 0 {
-		factor = 8
-	}
-	hotShare := c.FlashHotShare
-	if hotShare == 0 {
-		hotShare = 0.7
-	}
-	var out []ArrivalSpec
-	// Baseline.
-	t := simtime.Duration(0)
-	for {
-		t += expIAT(c.MeanIAT, rng)
-		if t >= c.Horizon {
-			break
-		}
-		out = append(out, c.sample(t, -1, rng))
-	}
-	// Episodes.
-	spacing := c.Horizon / 6
-	length := c.Horizon / 24
-	for start := spacing / 2; start < c.Horizon; start += spacing {
-		begin := start + simtime.Duration(float64(spacing/4)*(rng.Float64()*2-1))
-		end := begin + simtime.Duration(float64(length)*(0.5+rng.Float64()))
-		if end > c.Horizon {
-			end = c.Horizon
-		}
-		hot := rng.Intn(len(c.Functions))
-		extraIAT := simtime.Duration(float64(c.MeanIAT) / (factor - 1))
-		et := begin
-		for {
-			et += expIAT(extraIAT, rng)
-			if et >= end {
-				break
-			}
-			fn := hot
-			if rng.Float64() >= hotShare {
-				fn = -1 // fall back to the weighted sample
-			}
-			out = append(out, c.sample(et, fn, rng))
-		}
-	}
-	return out
 }
 
 // sample draws one arrival at time t. fnIdx >= 0 pins the function;

@@ -16,7 +16,8 @@ import (
 var updateArrivals = flag.Bool("update-arrivals", false, "rewrite the arrivals golden file")
 
 // arrivalsFixtures is one config per generator, shared by every test below
-// so the golden file pins all three processes at once.
+// so the golden file pins all four processes at once. New fixtures append at
+// the end, keeping earlier golden-file sections byte-stable.
 func arrivalsFixtures() []ArrivalsConfig {
 	fns := []string{"float_operation", "pyaes", "compress", "matmul"}
 	return []ArrivalsConfig{
@@ -24,6 +25,8 @@ func arrivalsFixtures() []ArrivalsConfig {
 		{Process: ProcDiurnal, Horizon: 120 * simtime.Second, MeanIAT: 400 * simtime.Millisecond, Functions: fns, Seed: 7,
 			Weights: []float64{4, 2, 1, 1}},
 		{Process: ProcFlash, Horizon: 120 * simtime.Second, MeanIAT: 400 * simtime.Millisecond, Functions: fns, Seed: 7},
+		{Process: ProcDiurnalFlash, Horizon: 120 * simtime.Second, MeanIAT: 400 * simtime.Millisecond, Functions: fns, Seed: 7,
+			Weights: []float64{4, 2, 1, 1}},
 	}
 }
 

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+
+	"toss/internal/simtime"
+)
+
+// drain pulls a Source dry.
+func drain(t *testing.T, s Source) []ArrivalSpec {
+	t.Helper()
+	var out []ArrivalSpec
+	for {
+		a, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+// TestStreamMatchesArrivals is the streaming-vs-materialized equivalence
+// golden test the ISSUE asks for: for every process and a spread of seeds
+// and shapes, NewStream must yield the exact sequence Arrivals materializes
+// — same specs, same order, byte for byte.
+func TestStreamMatchesArrivals(t *testing.T) {
+	configs := []ArrivalsConfig{
+		{Process: ProcPoisson, Horizon: 90 * simtime.Second, MeanIAT: 300 * simtime.Millisecond, Functions: []string{"json_load_dump", "pyaes"}},
+		{Process: ProcDiurnal, Horizon: 120 * simtime.Second, MeanIAT: 250 * simtime.Millisecond,
+			Functions: []string{"json_load_dump", "pyaes", "compress"}, Weights: []float64{5, 3, 1}},
+		{Process: ProcFlash, Horizon: 120 * simtime.Second, MeanIAT: 400 * simtime.Millisecond,
+			Functions: []string{"json_load_dump", "pyaes", "compress"}},
+		{Process: ProcFlash, Horizon: 45 * simtime.Second, MeanIAT: 120 * simtime.Millisecond,
+			Functions: []string{"pyaes", "compress"}, FlashFactor: 3, FlashHotShare: 0.95},
+		{Process: ProcDiurnalFlash, Horizon: 180 * simtime.Second, MeanIAT: 200 * simtime.Millisecond,
+			Functions: []string{"json_load_dump", "pyaes", "compress"}, Weights: []float64{1, 1, 8}},
+	}
+	for _, base := range configs {
+		for _, seed := range []int64{1, 7, 42, 99991} {
+			c := base
+			c.Seed = seed
+			name := c.Process.String()
+			want, err := Arrivals(c)
+			if err != nil {
+				t.Fatalf("%s seed=%d: Arrivals: %v", name, seed, err)
+			}
+			st, err := NewStream(c)
+			if err != nil {
+				t.Fatalf("%s seed=%d: NewStream: %v", name, seed, err)
+			}
+			got := drain(t, st)
+			if len(got) != len(want) {
+				t.Fatalf("%s seed=%d: stream yielded %d arrivals, materialized %d", name, seed, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s seed=%d: arrival %d differs:\n  stream:       %+v\n  materialized: %+v",
+						name, seed, i, got[i], want[i])
+				}
+			}
+			// Exhausted streams stay exhausted.
+			if _, ok := st.Next(); ok {
+				t.Fatalf("%s seed=%d: stream yielded past exhaustion", name, seed)
+			}
+		}
+	}
+}
+
+// TestStreamRejectsInvalidConfig mirrors the Arrivals validation path.
+func TestStreamRejectsInvalidConfig(t *testing.T) {
+	if _, err := NewStream(ArrivalsConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+// TestSliceSource checks the adapter yields the slice verbatim and then
+// reports exhaustion.
+func TestSliceSource(t *testing.T) {
+	xs := []ArrivalSpec{
+		{At: 1, Function: "a", Level: 0, Seed: 10},
+		{At: 2, Function: "b", Level: 1, Seed: 20},
+	}
+	src := SliceSource(xs)
+	got := drain(t, src)
+	if len(got) != len(xs) {
+		t.Fatalf("got %d specs, want %d", len(got), len(xs))
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("spec %d: got %+v, want %+v", i, got[i], xs[i])
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted SliceSource yielded")
+	}
+	if empty := drain(t, SliceSource(nil)); len(empty) != 0 {
+		t.Fatalf("nil slice yielded %d specs", len(empty))
+	}
+}

@@ -28,6 +28,10 @@ type BurnTracker struct {
 	// head indexes the first live point (amortized pruning without
 	// reslicing allocations on every call).
 	head int
+	// liveViolations counts violated points in points[head:], maintained
+	// incrementally on append and prune so the windowed rate is O(1) per
+	// Record instead of a rescan of the live window.
+	liveViolations int
 
 	peakRate float64
 	peakAt   simtime.Duration
@@ -60,7 +64,13 @@ func (t *BurnTracker) Record(at, latency simtime.Duration) {
 		return
 	}
 	t.points = append(t.points, burnPoint{at: at, violated: violated})
+	if violated {
+		t.liveViolations++
+	}
 	for t.head < len(t.points) && t.points[t.head].at < at-t.Window {
+		if t.points[t.head].violated {
+			t.liveViolations--
+		}
 		t.head++
 	}
 	// Compact once the dead prefix dominates.
@@ -73,19 +83,15 @@ func (t *BurnTracker) Record(at, latency simtime.Duration) {
 	}
 }
 
-// windowRate is the violation fraction among live points.
+// windowRate is the violation fraction among live points, computed from the
+// incrementally maintained counter (million-invocation runs call this once
+// per completion).
 func (t *BurnTracker) windowRate() float64 {
-	live := t.points[t.head:]
-	if len(live) == 0 {
+	live := len(t.points) - t.head
+	if live == 0 {
 		return 0
 	}
-	var v int
-	for _, p := range live {
-		if p.violated {
-			v++
-		}
-	}
-	return float64(v) / float64(len(live))
+	return float64(t.liveViolations) / float64(live)
 }
 
 // Totals returns completions seen and objective violations.

@@ -17,8 +17,11 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 echo "== micro-benchmarks ==" >&2
-go test -run='^$' -bench='TraceReplay|TraceCompile|BuildPagerank|SuiteSubset' -benchmem \
-    ./internal/microvm/ ./internal/workload/ ./internal/experiments/ | tee "$tmp/bench.txt" >&2
+# ClusterRun is the event core's headline: a ~1M-invocation streamed fleet
+# day per op; benchjson derives cluster_invocations_per_second and
+# cluster_allocs_per_invocation from its line.
+go test -run='^$' -bench='TraceReplay|TraceCompile|BuildPagerank|SuiteSubset|ClusterRun' -benchmem \
+    ./internal/microvm/ ./internal/workload/ ./internal/experiments/ ./internal/cluster/ | tee "$tmp/bench.txt" >&2
 
 echo "== suite wall-clock ==" >&2
 go build -o "$tmp/tossctl" ./cmd/tossctl

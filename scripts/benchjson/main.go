@@ -56,6 +56,14 @@ type Suite struct {
 	// decision log) — the end-to-end cost of fleet explainability; compare
 	// against ExtSeconds["ext9"] for the observation overhead.
 	FleetObsSeconds float64 `json:"fleetobs_seconds,omitempty"`
+	// ClusterInvPerSec and ClusterAllocsPerInvocation are derived from
+	// BenchmarkClusterRun (the million-invocation streamed fleet day): the
+	// event core's simulation throughput and its amortized heap allocations
+	// per invocation. The acceptance budget is >= 1M invocations in under
+	// 5s on one core at <= 2 allocs/invocation; CI's warn-only guard and
+	// the checked-in baseline both read these fields.
+	ClusterInvPerSec           float64 `json:"cluster_invocations_per_second,omitempty"`
+	ClusterAllocsPerInvocation float64 `json:"cluster_allocs_per_invocation,omitempty"`
 }
 
 // Report is the document written to stdout.
@@ -127,6 +135,18 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if report.Suite != nil {
+		for _, b := range report.Benchmarks {
+			if !strings.HasPrefix(b.Name, "BenchmarkClusterRun") {
+				continue
+			}
+			report.Suite.ClusterInvPerSec = b.Extra["inv/s"]
+			if inv := b.Extra["invocations"]; inv > 0 {
+				report.Suite.ClusterAllocsPerInvocation = b.AllocsPerOp / inv
+			}
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)
