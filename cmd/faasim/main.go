@@ -42,6 +42,14 @@
 // render from the same virtual-time recorder (internal/fleetobs), so the
 // artifacts are byte-deterministic for a given flag set.
 //
+// With -migrate-demo, faasim skips the replay entirely: it profiles the
+// first -functions entry through the TOSS pipeline, seeds the N-tier
+// migration engine (internal/migrate) from the tiered snapshot, drives a
+// drifting hot window for 24 epochs, and renders the ASCII tier timeline —
+// one row per epoch, one column per extent bucket, glyph = tier — followed
+// by per-tier occupancy and the daemon's move statistics. TIERS.md explains
+// the model; the README's "Watching a region migrate" walks the output.
+//
 // Usage:
 //
 //	faasim [-mode toss|reap|faasnap|dram|slow] [-requests N] [-workers N]
@@ -52,6 +60,7 @@
 //	       [-nodes N] [-router rr|least|affinity] [-arrival poisson|diurnal|flash]
 //	       [-horizon 60s] [-mean-iat 100ms] [-autoscale]
 //	       [-fleetview] [-decision-log out.jsonl] [-fleet-trace out.json]
+//	       [-migrate-demo]
 package main
 
 import (
@@ -103,6 +112,7 @@ func main() {
 	fleetview := flag.Bool("fleetview", false, "print the ASCII fleet dashboard after the cluster run (with -nodes)")
 	decisionLog := flag.String("decision-log", "", "write the cluster run's routing/scaling decisions as JSON lines to this `file` (with -nodes)")
 	fleetTrace := flag.String("fleet-trace", "", "write the cluster run's decision trace as a Chrome trace_event `file`, one track per node (with -nodes)")
+	migrateDemo := flag.Bool("migrate-demo", false, "render the N-tier migration timeline for the first -functions entry and exit")
 	explain := flag.Bool("explain", false, "print per-function latency attribution waterfalls after the replay")
 	explainTop := flag.Int("explain-top", 0, "print full attribution waterfalls for the N slowest invocations")
 	slo := flag.Duration("slo", 0, "latency objective; reports SLO burn (violations, burn rate, peak windowed burn) after the replay")
@@ -138,6 +148,17 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "faasim: unknown mode %q\n", *modeFlag)
 		os.Exit(2)
+	}
+
+	// The migration demo is a self-contained pipeline: profile one function,
+	// seed the N-tier engine from its snapshot, render the drift timeline.
+	if *migrateDemo {
+		if *nodes > 0 {
+			fmt.Fprintln(os.Stderr, cliutil.MutuallyExclusive("faasim", "-migrate-demo", "-nodes",
+				"the migration demo drives one engine, not a fleet"))
+			os.Exit(2)
+		}
+		os.Exit(runMigrateDemo(strings.Split(*fns, ",")[0], *window, *seed))
 	}
 
 	// Deterministic output (span order, recorder timeline) needs serialized

@@ -5,8 +5,11 @@
 //
 //	tossctl [flags] <experiment-id>... | all | list
 //
-// Experiment ids follow DESIGN.md's per-experiment index: table1, fig1,
-// fig2, fig3, fig5, table2, fig6, fig7, fig8, fig9, sec6c3a, sec6c3b.
+// Experiment ids follow DESIGN.md's per-experiment index: the paper set
+// (table1, fig1, fig2, fig3, fig5, table2, fig6, fig7, fig8, fig9, sec6c3a,
+// sec6c3b) plus the extension catalog ext1-ext11 (EXPERIMENTS.md) — ext11 is
+// the N-tier migration frontier (TIERS.md), scaled down by -cluster-scale
+// like ext10.
 //
 // With -parallel N the experiments (and the heavy per-cell sweeps inside
 // them) fan out over a bounded worker pool; results are folded in input
@@ -64,7 +67,7 @@ func run() int {
 	metrics := flag.Bool("metrics", false, "collect telemetry metrics and dump them after the run (forces -parallel 1)")
 	faults := flag.String("faults", "", "JSON fault plan injected into every experiment (see FAULTS.md; forces -parallel 1)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker pool size (1 = serial; output is identical either way)")
-	clusterScale := flag.Float64("cluster-scale", 1, "horizon scale for the day-scale cluster experiment ext10 (1 = full ~1.26M-invocation day; CI smoke uses 0.02)")
+	clusterScale := flag.Float64("cluster-scale", 1, "scale for the long-horizon experiments: ext10's day (1 = full ~1.26M-invocation day; CI smoke uses 0.02) and ext11's migration epochs (CI smoke uses 0.25)")
 	xrayOut := flag.String("xray", "", "write per-experiment attribution budgets (JSON) to this `file`; compare runs with tossctl diff")
 	fleetLog := flag.String("fleetlog", "", "write the cluster experiments' fleet decision logs (JSON lines, one event per routing/scaling decision) to this `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")

@@ -314,6 +314,27 @@ func (a *Analysis) SlowShare() float64 {
 	return float64(a.Curve[a.ChosenK].SlowPages) / float64(a.GuestPages)
 }
 
+// HeatRegion is one profiled region with its observed per-page access heat —
+// the profile-side input of the migration engine (TIERS.md).
+type HeatRegion struct {
+	Region guest.Region
+	// PerPage is DAMON's nr_accesses per page over the profiled window.
+	PerPage float64
+}
+
+// HeatRegions flattens the unified DAMON pattern into per-region heat for
+// seeding internal/migrate's EWMA (Engine.Touch): each merged record's
+// access count becomes the per-page heat of its region. mergeDelta is the
+// same access-count merging threshold Analyze uses.
+func (pd *ProfileData) HeatRegions(mergeDelta int64) []HeatRegion {
+	recs := pd.Unified.Regions(mergeDelta)
+	out := make([]HeatRegion, len(recs))
+	for i, r := range recs {
+		out[i] = HeatRegion{Region: r.Region, PerPage: float64(r.NrAccesses)}
+	}
+	return out
+}
+
 // Analyze performs Step III on profiled data.
 func Analyze(cfg Config, pd *ProfileData) (*Analysis, error) {
 	if pd.Profiled == 0 {

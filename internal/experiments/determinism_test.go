@@ -85,6 +85,28 @@ func TestExt10SerialParallelIdentical(t *testing.T) {
 	}
 }
 
+// TestExt11SerialParallelIdentical pins the migration-frontier experiment:
+// each cell drives its own migration engine (heat folding, greedy repack,
+// eviction cascades, prefetch), and the twelve cells run concurrently under
+// the pool, so this covers engine determinism end to end: a serial run and
+// an 8-worker run must render byte-identically.
+func TestExt11SerialParallelIdentical(t *testing.T) {
+	render := func(workers int) string {
+		s := NewSuite()
+		s.ClusterScale = 0.25
+		s.Workers = workers
+		tab, err := s.Run("ext11")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	serial, parallel := render(0), render(8)
+	if serial != parallel {
+		t.Errorf("ext11 rendering differs between serial and 8-worker runs:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
 // TestPoolSerialWhenObserved pins the faasim rule carried over to the
 // suite: any attached recorder, observer, or metrics sink forces the pool
 // serial so observation order stays deterministic.

@@ -56,7 +56,7 @@ func TestTableCSVAndJSON(t *testing.T) {
 
 func TestIDsAndUnknown(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 22 {
+	if len(ids) != 23 {
 		t.Fatalf("IDs() = %v", ids)
 	}
 	s := fastSuite()

@@ -52,10 +52,11 @@ type Suite struct {
 	// or one runs everything serially. Set before the first Run.
 	Workers int
 	// ClusterScale scales the horizon of the day-scale cluster experiment
-	// (ext10). Zero or 1 runs the full simulated day (~1.26M invocations);
-	// CI smoke and the determinism tests set ~0.02 so -race runs stay
-	// quick. The arrival shape is scale-invariant, so reduced runs exercise
-	// the same code paths.
+	// (ext10) and the epoch count of the migration sweep (ext11). Zero or 1
+	// runs full scale (~1.26M invocations for ext10); CI smoke and the
+	// determinism tests set ~0.02 so -race runs stay quick. The arrival
+	// shape is scale-invariant, so reduced runs exercise the same code
+	// paths.
 	ClusterScale float64
 
 	poolOnce sync.Once
@@ -245,7 +246,7 @@ var registryOrder = []string{
 	"table1", "fig1", "fig2", "fig3", "fig5", "table2",
 	"fig6", "fig7", "fig8", "fig9", "sec6c3a", "sec6c3b",
 	"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9",
-	"ext10",
+	"ext10", "ext11",
 }
 
 var registry = map[string]Runner{
@@ -271,6 +272,7 @@ var registry = map[string]Runner{
 	"ext8":    ExtFaultTolerance,
 	"ext9":    ExtClusterScaling,
 	"ext10":   ExtMillionDay,
+	"ext11":   ExtTierMigration,
 }
 
 // IDs returns all experiment identifiers in canonical order.

@@ -23,8 +23,9 @@ func TestAttributionBudgetsBalance(t *testing.T) {
 	col := xray.NewCollector()
 	s.Core.VM.XRay = col
 	// Analytic experiments derive their tables from cached pipeline builds
-	// and static inventory without running a machine of their own.
-	analytic := map[string]bool{"table1": true, "table2": true, "ext7": true}
+	// and static inventory without running a machine of their own (ext11
+	// drives the migration engine directly against a cached build).
+	analytic := map[string]bool{"table1": true, "table2": true, "ext7": true, "ext11": true}
 	for _, id := range IDs() {
 		if _, err := s.Run(id); err != nil {
 			t.Fatalf("%s: %v", id, err)

@@ -1,0 +1,212 @@
+package mem
+
+import (
+	"testing"
+
+	"toss/internal/access"
+	"toss/internal/guest"
+	"toss/internal/simtime"
+)
+
+// TestTwoTierDegenerateIdentical pins the tentpole invariant: a two-tier
+// Hierarchy built from a Config charges exactly — bit for bit — what the
+// Config charges, for every pattern/kind/concurrency cell and through both
+// meters. The paper experiments keep running on Config; this test is what
+// lets TIERS.md call them the N=2 degenerate case of the hierarchy.
+func TestTwoTierDegenerateIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	h := TwoTier(cfg, 2.5, 1024, 4096)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	patterns := []access.Pattern{access.Sequential, access.Random}
+	kinds := []access.Kind{access.Read, access.Write}
+	concs := []int{1, 2, 8, 20}
+	for tier := Tier(0); tier <= Slow; tier++ {
+		level := int(tier)
+		for _, p := range patterns {
+			for _, k := range kinds {
+				for _, c := range concs {
+					want := cfg.LineCost(tier, p, k, c)
+					got := h.LineCost(level, p, k, c)
+					if got != want {
+						t.Fatalf("LineCost(%v,%v,%v,%d): hierarchy %v != config %v", tier, p, k, c, got, want)
+					}
+					if got, want := h.ContentionFactor(level, c), cfg.ContentionFactor(tier, c); got != want {
+						t.Fatalf("ContentionFactor(%v,%d): %v != %v", tier, c, got, want)
+					}
+				}
+			}
+		}
+	}
+
+	events := []access.Event{
+		{Region: guest.Region{Start: 0, Pages: 64}, LinesPerPage: 64, Repeat: 2,
+			Kind: access.Read, Pattern: access.Sequential, HitRatio: 0.3, CPUPerLine: 0.7},
+		{Region: guest.Region{Start: 128, Pages: 16}, LinesPerPage: 8, Repeat: 1,
+			Kind: access.Write, Pattern: access.Random, HitRatio: 0.9, CPUPerLine: 2},
+	}
+	for _, e := range events {
+		for tier := Tier(0); tier <= Slow; tier++ {
+			for _, c := range []int{1, 6} {
+				if got, want := h.EventPageCost(e, int(tier), c), cfg.EventPageCost(e, tier, c); got != want {
+					t.Fatalf("EventPageCost(%v,%d): %v != %v", tier, c, got, want)
+				}
+				var m Meter
+				mm := NewMultiMeter(2)
+				want := m.ChargePages(cfg, e, tier, c, e.Region.Pages)
+				got := mm.ChargePages(h, e, int(tier), c, e.Region.Pages)
+				if got != want {
+					t.Fatalf("ChargePages(%v,%d): %v != %v", tier, c, got, want)
+				}
+				if m.CPUTime != mm.CPUTime || m.MemTime[tier] != mm.MemTime[tier] ||
+					m.LineTouches[tier] != mm.LineTouches[tier] {
+					t.Fatalf("meter split diverged: %+v vs %+v", m, *mm)
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchyCapacitySemantics(t *testing.T) {
+	h := DefaultHierarchy()
+	h.Tiers[0].CapacityPages = 100
+	h.Tiers[1].CapacityPages = 0 // absent middle tier
+	h.Tiers[2].CapacityPages = 500
+	// Bottom stays 0 => unbounded.
+	if got := h.Capacity(0); got != 100 {
+		t.Fatalf("Capacity(0) = %d, want 100", got)
+	}
+	if got := h.Capacity(1); got != 0 {
+		t.Fatalf("zero-size middle tier must have capacity 0, got %d", got)
+	}
+	if !h.Unbounded(3) || h.Unbounded(2) || h.Unbounded(1) {
+		t.Fatalf("only the bottom tier with zero capacity is unbounded")
+	}
+	if h.Capacity(3) < 1<<40 {
+		t.Fatalf("unbounded bottom capacity too small: %d", h.Capacity(3))
+	}
+	cost := h.ProvisionedCost(1000)
+	want := 100*1.0 + 0*0.4 + 500*0.1 + 1000*0.01
+	if cost != want {
+		t.Fatalf("ProvisionedCost = %v, want %v", cost, want)
+	}
+}
+
+func TestHierarchyMoveCost(t *testing.T) {
+	h := DefaultHierarchy()
+	// Promotion into dram: paid at dram's promote bandwidth.
+	pages := int64(1 << 18) // 1 GiB
+	d := h.MoveCost(2, 0, pages)
+	want := simtime.Duration(float64(pages*guest.PageSize) / float64(12<<30) * float64(simtime.Second))
+	if d != want {
+		t.Fatalf("promote MoveCost = %v, want %v", d, want)
+	}
+	// Demotion into object: paid at the object tier's demote bandwidth.
+	d = h.MoveCost(0, 3, pages)
+	want = simtime.Duration(float64(pages*guest.PageSize) / float64(256<<20) * float64(simtime.Second))
+	if d != want {
+		t.Fatalf("demote MoveCost = %v, want %v", d, want)
+	}
+	if h.MoveCost(1, 1, pages) != 0 || h.MoveCost(0, 1, 0) != 0 {
+		t.Fatalf("same-level and zero-page moves must be free")
+	}
+	free := h
+	free.Tiers[0].PromoteBytesPerSec = 0
+	if free.MoveCost(2, 0, pages) != 0 {
+		t.Fatalf("unset bandwidth must make moves free")
+	}
+}
+
+func TestMultiPlacementSetAndLookup(t *testing.T) {
+	mp, err := NewMultiPlacement(4, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mp.LevelOf(500); got != 3 {
+		t.Fatalf("default level = %d, want 3", got)
+	}
+	mp.Set(guest.Region{Start: 100, Pages: 100}, 0)
+	mp.Set(guest.Region{Start: 200, Pages: 100}, 1)
+	mp.Set(guest.Region{Start: 150, Pages: 100}, 2) // straddles both
+	for _, tc := range []struct {
+		page guest.PageID
+		want int
+	}{{99, 3}, {100, 0}, {149, 0}, {150, 2}, {249, 2}, {250, 1}, {299, 1}, {300, 3}} {
+		if got := mp.LevelOf(tc.page); got != tc.want {
+			t.Fatalf("LevelOf(%d) = %d, want %d", tc.page, got, tc.want)
+		}
+	}
+	segs := mp.Segments(guest.Region{Start: 90, Pages: 220})
+	want := []LevelSegment{
+		{Region: guest.Region{Start: 90, Pages: 10}, Level: 3},
+		{Region: guest.Region{Start: 100, Pages: 50}, Level: 0},
+		{Region: guest.Region{Start: 150, Pages: 100}, Level: 2},
+		{Region: guest.Region{Start: 250, Pages: 50}, Level: 1},
+		{Region: guest.Region{Start: 300, Pages: 10}, Level: 3},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("Segments = %v, want %v", segs, want)
+	}
+	for i := range segs {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %v, want %v", i, segs[i], want[i])
+		}
+	}
+	occ := mp.Occupancy()
+	if occ[0] != 50 || occ[1] != 50 || occ[2] != 100 || occ[3] != 800 {
+		t.Fatalf("Occupancy = %v", occ)
+	}
+	var sum int64
+	for _, n := range occ {
+		sum += n
+	}
+	if sum != 1000 {
+		t.Fatalf("occupancy sums to %d, want 1000", sum)
+	}
+
+	// Setting back to the default level erases coverage; adjacent
+	// same-level runs coalesce.
+	mp.Set(guest.Region{Start: 150, Pages: 100}, 3)
+	if got := mp.LevelOf(200); got != 3 {
+		t.Fatalf("reset to default: LevelOf(200) = %d, want 3", got)
+	}
+	mp2, _ := NewMultiPlacement(4, 3, 1000)
+	mp2.Set(guest.Region{Start: 0, Pages: 10}, 1)
+	mp2.Set(guest.Region{Start: 10, Pages: 10}, 1)
+	if len(mp2.runs) != 1 || mp2.runs[0].region.Pages != 20 {
+		t.Fatalf("adjacent same-level runs must coalesce: %+v", mp2.runs)
+	}
+	// Clipping.
+	mp2.Set(guest.Region{Start: 990, Pages: 100}, 0)
+	if occ := mp2.Occupancy(); occ[0] != 10 {
+		t.Fatalf("clipped set placed %d pages at level 0, want 10", occ[0])
+	}
+}
+
+func TestMultiPlacementCloneIndependent(t *testing.T) {
+	mp, _ := NewMultiPlacement(3, 2, 100)
+	mp.Set(guest.Region{Start: 0, Pages: 50}, 0)
+	cp := mp.Clone()
+	cp.Set(guest.Region{Start: 0, Pages: 50}, 1)
+	if mp.LevelOf(0) != 0 || cp.LevelOf(0) != 1 {
+		t.Fatalf("clone shares state: orig %d clone %d", mp.LevelOf(0), cp.LevelOf(0))
+	}
+}
+
+func TestFromTwoTierMatchesPlacement(t *testing.T) {
+	pl := NewPlacement([]guest.Region{{Start: 10, Pages: 5}, {Start: 40, Pages: 10}})
+	mp, err := FromTwoTier(pl, 100, 4, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := guest.PageID(0); p < 100; p++ {
+		want := 0
+		if pl.TierOf(p) == Slow {
+			want = 2
+		}
+		if got := mp.LevelOf(p); got != want {
+			t.Fatalf("page %d: level %d, want %d", p, got, want)
+		}
+	}
+}

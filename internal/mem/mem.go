@@ -1,7 +1,19 @@
-// Package mem models a two-tier main memory: a small fast tier (DRAM in the
-// paper) and a large cheap slow tier (Intel Optane PMem in the paper; the
+// Package mem models tiered main memory.
+//
+// The original (and still primary) model is the paper's two-tier split: a
+// small fast tier (DRAM) and a large cheap slow tier (Intel Optane PMem; the
 // model works for CXL-attached DRAM or any technology with comparable
-// semantics, as the paper argues in §III).
+// semantics, as the paper argues in §III). Config, Placement, and Meter are
+// that two-tier model, and every paper experiment runs on them unchanged.
+//
+// On top of it, Hierarchy generalizes the pair to an N-tier hierarchy
+// (DRAM / CXL-or-PMem / SSD / object store — see TIERS.md): each tier is a
+// TierDef row with per-line costs, a capacity, a relative $ cost, and
+// promote/demote bandwidths. MultiPlacement and MultiMeter are the N-tier
+// analogues of Placement and Meter. Both models share the same per-line cost
+// arithmetic (lineCostOf, contentionOf, the Charge formulas), so a two-tier
+// Hierarchy built from a Config via TwoTier is byte-identical to the Config
+// itself — the degenerate case the backward-compat tests pin.
 //
 // The model charges virtual time per cache-line touch, with costs that depend
 // on tier, stride pattern (sequential bursts are bandwidth-bound, random
@@ -122,34 +134,53 @@ func (c Config) Spec(t Tier) TierSpec {
 	return c.Slow
 }
 
-// ContentionFactor returns the latency multiplier a tier experiences when
-// shared by `concurrency` simultaneous invocations (>= 1).
-func (c Config) ContentionFactor(t Tier, concurrency int) float64 {
+// contentionOf returns the latency multiplier a tier spec experiences when
+// shared by `concurrency` simultaneous invocations (>= 1). Shared by the
+// two-tier Config and the N-tier Hierarchy so the degenerate case stays
+// arithmetic-identical.
+func contentionOf(s TierSpec, concurrency int) float64 {
 	if concurrency < 1 {
 		concurrency = 1
 	}
-	return 1 + c.Spec(t).ContentionBeta*float64(concurrency-1)
+	return 1 + s.ContentionBeta*float64(concurrency-1)
+}
+
+// lineCostOf returns the effective per-line cost, in virtual nanoseconds, of
+// a miss served by a tier spec under the given concurrency level.
+func lineCostOf(s TierSpec, p access.Pattern, k access.Kind, concurrency int) float64 {
+	return float64(s.lineCost(p, k)) * contentionOf(s, concurrency)
+}
+
+// eventPageCostOf returns the virtual time charged for the line touches one
+// page receives from the event when served by a tier spec. The mix is:
+//
+//	touches * (HitRatio*cacheHit + (1-HitRatio)*lineCost(tier)) + touches*CPUPerLine
+func eventPageCostOf(cacheHit simtime.Duration, s TierSpec, e access.Event, concurrency int) simtime.Duration {
+	touches := float64(e.TouchesPerPage())
+	miss := lineCostOf(s, e.Pattern, e.Kind, concurrency)
+	hit := float64(cacheHit)
+	memsvc := touches * (e.HitRatio*hit + (1-e.HitRatio)*miss)
+	cpu := touches * e.CPUPerLine
+	return simtime.Duration(memsvc + cpu + 0.5)
+}
+
+// ContentionFactor returns the latency multiplier a tier experiences when
+// shared by `concurrency` simultaneous invocations (>= 1).
+func (c Config) ContentionFactor(t Tier, concurrency int) float64 {
+	return contentionOf(c.Spec(t), concurrency)
 }
 
 // LineCost returns the effective per-line cost, in virtual nanoseconds, of a
 // miss that reaches the given tier with the given stride/kind under the
 // given concurrency level.
 func (c Config) LineCost(t Tier, p access.Pattern, k access.Kind, concurrency int) float64 {
-	base := float64(c.Spec(t).lineCost(p, k))
-	return base * c.ContentionFactor(t, concurrency)
+	return lineCostOf(c.Spec(t), p, k, concurrency)
 }
 
 // EventPageCost returns the virtual time charged for the line touches one
-// page receives from the event, given that page's tier. The mix is:
-//
-//	touches * (HitRatio*cacheHit + (1-HitRatio)*lineCost(tier)) + touches*CPUPerLine
+// page receives from the event, given that page's tier.
 func (c Config) EventPageCost(e access.Event, t Tier, concurrency int) simtime.Duration {
-	touches := float64(e.TouchesPerPage())
-	miss := c.LineCost(t, e.Pattern, e.Kind, concurrency)
-	hit := float64(c.CacheHit)
-	memsvc := touches * (e.HitRatio*hit + (1-e.HitRatio)*miss)
-	cpu := touches * e.CPUPerLine
-	return simtime.Duration(memsvc + cpu + 0.5)
+	return eventPageCostOf(c.CacheHit, c.Spec(t), e, concurrency)
 }
 
 // Meter accumulates where an execution's time went, mirroring the perf

@@ -1,0 +1,37 @@
+package migrate
+
+import (
+	"testing"
+
+	"toss/internal/simtime"
+)
+
+// BenchmarkMigrationEngine drives a drifting hot window through a 4-tier
+// engine and reports migrations/s — benchjson surfaces it as
+// migrations_per_second in BENCH_experiments.json.
+func BenchmarkMigrationEngine(b *testing.B) {
+	cfg := DefaultConfig(testHierarchy(2048, 4096, 8192))
+	cfg.Seed = 42
+	const totalPages = 64 * 512 // 512 extents, 128 MiB guest
+	var moves int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		e, err := New(cfg, totalPages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for epoch := 0; epoch < 50; epoch++ {
+			base := (epoch / 2) * 11 % e.Extents()
+			for k := 0; k < 24; k++ {
+				e.TouchExtent((base+k)%e.Extents(), float64(48-k))
+			}
+			e.Tick(simtime.Duration(epoch+1) * cfg.Epoch)
+		}
+		moves += e.Stats().Moves()
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(moves)/b.Elapsed().Seconds(), "migrations/s")
+	}
+}

@@ -1,0 +1,113 @@
+package migrate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tierGlyphs maps hierarchy levels to timeline glyphs, hottest tier first.
+// Levels beyond the table reuse the last glyph.
+var tierGlyphs = []byte{'#', '=', '-', '.', ' '}
+
+func glyphFor(level int) byte {
+	if level < 0 {
+		level = 0
+	}
+	if level >= len(tierGlyphs) {
+		level = len(tierGlyphs) - 1
+	}
+	return tierGlyphs[level]
+}
+
+// Timeline records per-epoch snapshots of the engine's extent→tier map for
+// ASCII rendering (`faasim -migrate-demo`): one captured row per epoch, one
+// column per extent, glyph = tier.
+type Timeline struct {
+	levels int
+	names  []string
+	rows   [][]int
+	labels []string
+}
+
+// NewTimeline builds a timeline for an engine's hierarchy.
+func NewTimeline(e *Engine) *Timeline {
+	names := make([]string, e.cfg.Hierarchy.Levels())
+	for i, t := range e.cfg.Hierarchy.Tiers {
+		names[i] = t.Name
+	}
+	return &Timeline{levels: len(names), names: names}
+}
+
+// Capture appends the engine's current extent levels as one timeline row.
+func (t *Timeline) Capture(e *Engine, label string) {
+	t.rows = append(t.rows, e.Levels())
+	t.labels = append(t.labels, label)
+}
+
+// Render draws the captured rows, downsampling extents to at most maxCols
+// columns (each column shows the hottest tier present in its bucket, so
+// promotions stay visible after downsampling).
+func (t *Timeline) Render(maxCols int) string {
+	if len(t.rows) == 0 {
+		return "(no epochs captured)\n"
+	}
+	if maxCols < 1 {
+		maxCols = 64
+	}
+	nExt := len(t.rows[0])
+	cols := nExt
+	if cols > maxCols {
+		cols = maxCols
+	}
+	labelW := 0
+	for _, l := range t.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  extents 0..%d (1 col ≈ %.1f extents), tiers:", labelW, "", nExt-1,
+		float64(nExt)/float64(cols))
+	for i, name := range t.names {
+		fmt.Fprintf(&b, " %c=%s", glyphFor(i), name)
+	}
+	b.WriteByte('\n')
+	for r, row := range t.rows {
+		fmt.Fprintf(&b, "%*s  ", labelW, t.labels[r])
+		for c := 0; c < cols; c++ {
+			lo := c * nExt / cols
+			hi := (c + 1) * nExt / cols
+			if hi <= lo {
+				hi = lo + 1
+			}
+			best := row[lo]
+			for i := lo + 1; i < hi; i++ {
+				if row[i] < best {
+					best = row[i]
+				}
+			}
+			b.WriteByte(glyphFor(best))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary formats the engine's stats and per-tier occupancy in one line per
+// tier plus a totals line.
+func Summary(e *Engine) string {
+	var b strings.Builder
+	occ := e.Occupancy()
+	for i, t := range e.cfg.Hierarchy.Tiers {
+		capStr := "unbounded"
+		if !e.cfg.Hierarchy.Unbounded(i) {
+			capStr = fmt.Sprintf("%d pages cap", e.cfg.Hierarchy.Capacity(i))
+		}
+		fmt.Fprintf(&b, "  %-8s %8d pages resident (%s)\n", t.Name, occ[i], capStr)
+	}
+	s := e.Stats()
+	fmt.Fprintf(&b, "  %d epochs: %d promotions, %d demotions, %d evictions, %d prefetches, %.1f MiB moved, daemon busy %v\n",
+		s.Epochs, s.Promotions, s.Demotions, s.Evictions, s.Prefetches,
+		float64(s.MovedPages)*4096/(1<<20), s.BusyTime)
+	return b.String()
+}

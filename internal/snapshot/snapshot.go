@@ -309,6 +309,31 @@ func (t *Tiered) SlowShare() float64 {
 // Regions returns the number of layout entries (memory mappings at restore).
 func (t *Tiered) Regions() int { return len(t.Entries) }
 
+// SeedPlacement maps the tiered layout onto an N-tier hierarchy placement
+// (TIERS.md): fast-tier entries land at fastLevel, slow-tier entries at
+// slowLevel, and non-resident pages at bottomLevel (typically the
+// hierarchy's unbounded bottom — they are faulted from the snapshot store).
+// This is how the migration engine is seeded from a restored snapshot:
+// TOSS's two-tier split is the initial condition, migration takes it from
+// there.
+func (t *Tiered) SeedPlacement(levels, fastLevel, slowLevel, bottomLevel int) (*mem.MultiPlacement, error) {
+	mp, err := mem.NewMultiPlacement(levels, bottomLevel, t.GuestPages)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range t.Entries {
+		level := fastLevel
+		if e.Tier == mem.Slow {
+			level = slowLevel
+		}
+		if level < 0 || level >= levels {
+			return nil, fmt.Errorf("snapshot: tier %v maps to level %d outside [0,%d)", e.Tier, level, levels)
+		}
+		mp.Set(e.GuestRegion(), level)
+	}
+	return mp, nil
+}
+
 // Paths groups the three files of an on-disk tiered snapshot.
 type Paths struct {
 	Layout string

@@ -153,6 +153,33 @@ func TestBuildTieredPartition(t *testing.T) {
 	}
 }
 
+// TestSeedPlacement maps the two-tier layout onto a 4-level hierarchy:
+// fast entries at level 0, slow entries at level 2, non-resident pages at
+// the bottom.
+func TestSeedPlacement(t *testing.T) {
+	s := buildTestSingle()
+	tiered := BuildTiered(s, mem.NewPlacement([]guest.Region{{Start: 5, Pages: 20}}))
+	mp, err := tiered.SeedPlacement(4, 0, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		page guest.PageID
+		want int
+	}{{0, 0}, {4, 0}, {5, 2}, {9, 2}, {10, 3}, {19, 3}, {20, 2}, {24, 2}, {25, 0}, {29, 0}, {30, 3}, {63, 3}} {
+		if got := mp.LevelOf(tc.page); got != tc.want {
+			t.Fatalf("LevelOf(%d) = %d, want %d", tc.page, got, tc.want)
+		}
+	}
+	occ := mp.Occupancy()
+	if occ[0] != 10 || occ[1] != 0 || occ[2] != 10 || occ[3] != 44 {
+		t.Fatalf("Occupancy = %v", occ)
+	}
+	if _, err := tiered.SeedPlacement(2, 0, 5, 1); err == nil {
+		t.Fatal("out-of-range slow level accepted")
+	}
+}
+
 func TestBuildTieredAllFast(t *testing.T) {
 	s := buildTestSingle()
 	tiered := BuildTiered(s, mem.AllFast())

@@ -606,6 +606,12 @@ const (
 	MetricClusterScaleDown = "cluster.scale_downs"
 	MetricClusterColdStart = "cluster.cold_starts"
 	MetricClusterWarmStart = "cluster.warm_starts"
+	// migration engine (internal/migrate)
+	MetricMigratePromotions = "migrate.promotions"
+	MetricMigrateDemotions  = "migrate.demotions"
+	MetricMigratePrefetches = "migrate.prefetch_extents"
+	MetricMigrateMovedBytes = "migrate.moved_bytes"
+	MetricMigrateStallTime  = "migrate.stall_ns"
 )
 
 // TierUtilization derives per-tier memory-time shares of total execution

@@ -104,6 +104,16 @@ const (
 	SegExecSetup  = "exec.setup"
 	SegExecResume = "exec.resume"
 	SegExecRun    = "exec.run"
+
+	// Migration-engine segments (internal/migrate, TIERS.md): stall time an
+	// invocation spent waiting for in-flight tier moves covering pages it
+	// needed. Promotion waits are the price of adapting to a drifting
+	// working set; demotion waits mean reclamation got in the way.
+
+	// SegMigratePromote is wait for an in-flight promotion to land.
+	SegMigratePromote = "migrate.promote"
+	// SegMigrateDemote is wait for an in-flight demotion/eviction to land.
+	SegMigrateDemote = "migrate.demote"
 )
 
 // Mark identifiers: named counters that ride on a budget without entering the
@@ -132,6 +142,9 @@ const (
 	// MarkRouterShed counts routes where every candidate was overloaded and
 	// the arrival was shed to the least-loaded node of the ranking.
 	MarkRouterShed = "cluster.router.shed"
+	// MarkMigrations counts tier moves (promote/demote/evict/prefetch) that
+	// landed during the invocation's window on its function's engine.
+	MarkMigrations = "migrate.moves"
 )
 
 // Segment is one attributed slice of an invocation's latency.

@@ -19,9 +19,11 @@ trap 'rm -rf "$tmp"' EXIT
 echo "== micro-benchmarks ==" >&2
 # ClusterRun is the event core's headline: a ~1M-invocation streamed fleet
 # day per op; benchjson derives cluster_invocations_per_second and
-# cluster_allocs_per_invocation from its line.
-go test -run='^$' -bench='TraceReplay|TraceCompile|BuildPagerank|SuiteSubset|ClusterRun' -benchmem \
-    ./internal/microvm/ ./internal/workload/ ./internal/experiments/ ./internal/cluster/ | tee "$tmp/bench.txt" >&2
+# cluster_allocs_per_invocation from its line. MigrationEngine drives the
+# N-tier migration daemon over a drifting working set; benchjson hoists its
+# migrations/s metric into the suite block as migrations_per_second.
+go test -run='^$' -bench='TraceReplay|TraceCompile|BuildPagerank|SuiteSubset|ClusterRun|MigrationEngine' -benchmem \
+    ./internal/microvm/ ./internal/workload/ ./internal/experiments/ ./internal/cluster/ ./internal/migrate/ | tee "$tmp/bench.txt" >&2
 
 echo "== suite wall-clock ==" >&2
 go build -o "$tmp/tossctl" ./cmd/tossctl

@@ -64,6 +64,14 @@ type Suite struct {
 	// the checked-in baseline both read these fields.
 	ClusterInvPerSec           float64 `json:"cluster_invocations_per_second,omitempty"`
 	ClusterAllocsPerInvocation float64 `json:"cluster_allocs_per_invocation,omitempty"`
+	// Ext11Seconds is the wall-clock of the ext11 migration-frontier sweep
+	// on its own (hoisted from ExtSeconds): the N-tier migration engine's
+	// end-to-end cost benchmark.
+	Ext11Seconds float64 `json:"ext11_seconds,omitempty"`
+	// MigrationsPerSecond is derived from BenchmarkMigrationEngine's
+	// "migrations/s" metric: how fast the engine folds heat and repacks
+	// tiers on a drifting working set.
+	MigrationsPerSecond float64 `json:"migrations_per_second,omitempty"`
 }
 
 // Report is the document written to stdout.
@@ -113,6 +121,7 @@ func main() {
 		}
 		if len(exts) > 0 {
 			report.Suite.ExtSeconds = exts
+			report.Suite.Ext11Seconds = exts["ext11"]
 		}
 	}
 
@@ -139,12 +148,14 @@ func main() {
 
 	if report.Suite != nil {
 		for _, b := range report.Benchmarks {
-			if !strings.HasPrefix(b.Name, "BenchmarkClusterRun") {
-				continue
-			}
-			report.Suite.ClusterInvPerSec = b.Extra["inv/s"]
-			if inv := b.Extra["invocations"]; inv > 0 {
-				report.Suite.ClusterAllocsPerInvocation = b.AllocsPerOp / inv
+			switch {
+			case strings.HasPrefix(b.Name, "BenchmarkClusterRun"):
+				report.Suite.ClusterInvPerSec = b.Extra["inv/s"]
+				if inv := b.Extra["invocations"]; inv > 0 {
+					report.Suite.ClusterAllocsPerInvocation = b.AllocsPerOp / inv
+				}
+			case strings.HasPrefix(b.Name, "BenchmarkMigrationEngine"):
+				report.Suite.MigrationsPerSecond = b.Extra["migrations/s"]
 			}
 		}
 	}
