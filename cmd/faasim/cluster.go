@@ -11,6 +11,7 @@ import (
 	"toss/internal/cluster"
 	"toss/internal/fleet"
 	"toss/internal/fleetobs"
+	"toss/internal/insight"
 	"toss/internal/obs"
 	"toss/internal/platform"
 	"toss/internal/sched"
@@ -33,6 +34,8 @@ type clusterOpts struct {
 	functions  []string
 	slo        time.Duration
 	sloWindow  time.Duration
+	alerts     bool
+	reportOut  string
 	explain    bool
 	explainTop int
 	// Fleet observability surfaces (internal/fleetobs): the ASCII
@@ -113,7 +116,7 @@ func runCluster(o clusterOpts) int {
 		ccfg.Autoscale.Enabled = true
 	}
 	var xcol *xray.Collector
-	if o.explain || o.explainTop > 0 || o.httpAddr != "" {
+	if o.explain || o.explainTop > 0 || o.httpAddr != "" || o.alerts || o.reportOut != "" {
 		xcol = xray.NewCollector()
 		ccfg.XRay = xcol
 	}
@@ -163,6 +166,49 @@ func runCluster(o clusterOpts) int {
 		}
 	}
 
+	var eng *insight.Engine
+	if o.alerts || o.reportOut != "" {
+		// Alerting replays the run's completion-ordered record log after the
+		// event loop finishes — attaching it changes no routing or scaling
+		// decision. Fire edges blame the hottest attribution segment.
+		eng = insight.NewEngine(nil,
+			insight.BurnRule("latency-slo", "latency",
+				simtime.FromStd(o.slo), simtime.FromStd(o.sloWindow), 4*simtime.FromStd(o.sloWindow), 0.10, 0.05),
+			insight.BurnRule("cold-start-rate", "cold",
+				0, simtime.FromStd(o.sloWindow), 4*simtime.FromStd(o.sloWindow), 0.25, 0.10))
+		if xcol != nil {
+			eng.SetBlamer(insight.BlameTop(xray.Aggregate("cluster", xcol.Snapshot())))
+		}
+		for _, c := range rep.Records.Completions() {
+			eng.ObserveLatency("latency", c.At, c.Latency)
+			var coldLat simtime.Duration
+			if c.Cold {
+				coldLat = simtime.Millisecond // any value > the 0 objective
+			}
+			eng.ObserveLatency("cold", c.At, coldLat)
+		}
+		res := eng.Result("cluster/" + mech.String())
+		if o.alerts {
+			fmt.Println()
+			if err := insight.WriteAlertLog(os.Stdout, []insight.Result{res}); err != nil {
+				fmt.Fprintln(os.Stderr, "faasim:", err)
+				return 1
+			}
+		}
+		if o.reportOut != "" {
+			if err := writeExport(o.reportOut, func(f *os.File) error {
+				return insight.WriteDumpJSON(f, insight.Dump{
+					Schema: insight.SchemaVersion,
+					Cells:  []insight.Result{res},
+				})
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "faasim:", err)
+				return 1
+			}
+			fmt.Printf("insight: wrote dump to %s\n", o.reportOut)
+		}
+	}
+
 	if fr != nil {
 		if o.fleetview {
 			fmt.Printf("\n%s", fleetobs.RenderFleet(fr.View(), 32))
@@ -195,6 +241,7 @@ func runCluster(o clusterOpts) int {
 		if xcol != nil {
 			rec.SetXRay(xcol)
 		}
+		rec.SetInsight(eng) // /alerts panel; nil engine renders the empty banner
 		display := o.httpAddr
 		if strings.HasPrefix(display, ":") {
 			display = "localhost" + display

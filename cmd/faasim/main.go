@@ -42,6 +42,17 @@
 // render from the same virtual-time recorder (internal/fleetobs), so the
 // artifacts are byte-deterministic for a given flag set.
 //
+// With -alerts (requires -slo), the insight layer (internal/insight)
+// evaluates multi-window multi-burn-rate alert rules over the run's virtual
+// timeline after it completes and prints the deterministic alert log —
+// fire/resolve edges, each blamed on the hottest attribution segment when
+// the xray collector is on. -report writes the run's insight dump, the
+// input `tossctl report` compares across runs; -http additionally serves
+// the alert panel at /alerts. Replay mode forces a single worker (the feed
+// replays a serial timeline); cluster mode feeds the engine from the
+// completion-ordered record log after the event loop finishes, so
+// observation changes no simulated decision in either mode.
+//
 // With -migrate-demo, faasim skips the replay entirely: it profiles the
 // first -functions entry through the TOSS pipeline, seeds the N-tier
 // migration engine (internal/migrate) from the tiered snapshot, drives a
@@ -60,7 +71,8 @@
 //	       [-nodes N] [-router rr|least|affinity] [-arrival poisson|diurnal|flash]
 //	       [-horizon 60s] [-mean-iat 100ms] [-autoscale]
 //	       [-fleetview] [-decision-log out.jsonl] [-fleet-trace out.json]
-//	       [-migrate-demo]
+//	       [-explain] [-explain-top N] [-slo 100ms] [-slo-window 10s]
+//	       [-alerts] [-report insight.json] [-migrate-demo]
 package main
 
 import (
@@ -78,6 +90,7 @@ import (
 	"toss/internal/cliutil"
 	"toss/internal/core"
 	"toss/internal/fault"
+	"toss/internal/insight"
 	"toss/internal/obs"
 	"toss/internal/platform"
 	"toss/internal/simtime"
@@ -117,6 +130,8 @@ func main() {
 	explainTop := flag.Int("explain-top", 0, "print full attribution waterfalls for the N slowest invocations")
 	slo := flag.Duration("slo", 0, "latency objective; reports SLO burn (violations, burn rate, peak windowed burn) after the replay")
 	sloWindow := flag.Duration("slo-window", 10*time.Second, "virtual-time window for the peak burn rate (with -slo)")
+	alerts := flag.Bool("alerts", false, "evaluate multi-window SLO alert rules over the run's virtual timeline and print the alert log (with -slo; forces -workers 1)")
+	reportOut := flag.String("report", "", "write the run's insight dump (series summaries + alert edges, JSON — tossctl report input) to this `file` (with -slo; forces -workers 1)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the replay")
 	flag.Parse()
@@ -174,6 +189,19 @@ func main() {
 	// internal/cliutil renders them for faasim and tossctl alike.
 	forcer := &cliutil.WorkerForcer{Prog: "faasim", Workers: workers, Err: os.Stderr}
 	forceSingleWorker := func(flagName, why string) { forcer.Force(flagName, why) }
+
+	// Alerting needs the -slo objective to define what a violation is, in
+	// either mode.
+	alerting := *alerts || *reportOut != ""
+	if alerting && *slo <= 0 {
+		name := "-alerts"
+		if !*alerts {
+			name = "-report"
+		}
+		fmt.Fprintln(os.Stderr, cliutil.Requires("faasim", name, "-slo",
+			"alert rules burn against the -slo latency objective"))
+		os.Exit(2)
+	}
 
 	// Cluster mode is a different simulator: a modeled fleet fed by arrival
 	// generators, not the microVM replay loop. Its flags make no sense
@@ -241,6 +269,8 @@ func main() {
 			functions:      names,
 			slo:            *slo,
 			sloWindow:      *sloWindow,
+			alerts:         *alerts,
+			reportOut:      *reportOut,
 			explain:        *explain,
 			explainTop:     *explainTop,
 			fleetview:      *fleetview,
@@ -267,6 +297,15 @@ func main() {
 		}
 	}
 
+	if alerting {
+		// The alert feed accumulates the run's virtual timeline in record
+		// order, the same serial-only property -slo's burn summary has.
+		name := "-alerts"
+		if !*alerts {
+			name = "-report"
+		}
+		forceSingleWorker(name, "the alert feed replays a serial timeline")
+	}
 	recording := *httpAddr != "" || *promOut != "" || *csvOut != "" || *heatmap
 	if *httpAddr != "" && workersSetExplicitly && *workers > 1 {
 		fmt.Fprintln(os.Stderr, cliutil.ConflictFatal("faasim", "-http", *workers,
@@ -429,6 +468,54 @@ func main() {
 			burn.Record(at, r.Total())
 		}
 		fmt.Printf("\n%s", burn.Summary())
+	}
+
+	if alerting {
+		// The engine walks the same accumulated virtual timeline the burn
+		// summary uses; with attribution on, every fire edge carries the
+		// hottest segment as its blame.
+		objective := simtime.FromStd(*slo)
+		fast := simtime.FromStd(*sloWindow)
+		eng := insight.NewEngine(nil,
+			insight.BurnRule("latency-slo", "latency", objective, fast, 4*fast, 0.10, 0.05))
+		if xcol != nil {
+			budgets := make([]*xray.Budget, 0, len(records))
+			for _, r := range records {
+				if r.XRay != nil {
+					budgets = append(budgets, r.XRay)
+				}
+			}
+			eng.SetBlamer(insight.BlameTop(xray.Aggregate("replay", budgets)))
+		}
+		var at simtime.Duration
+		for _, r := range records {
+			if r.Err != nil {
+				continue
+			}
+			at += r.Total()
+			eng.ObserveLatency("latency", at, r.Total())
+		}
+		res := eng.Result("replay/" + mode.String())
+		if *alerts {
+			fmt.Println()
+			if err := insight.WriteAlertLog(os.Stdout, []insight.Result{res}); err != nil {
+				fmt.Fprintln(os.Stderr, "faasim:", err)
+				os.Exit(1)
+			}
+		}
+		if *reportOut != "" {
+			if err := writeExport(*reportOut, func(f *os.File) error {
+				return insight.WriteDumpJSON(f, insight.Dump{
+					Schema: insight.SchemaVersion,
+					Cells:  []insight.Result{res},
+				})
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "faasim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("insight: wrote dump to %s\n", *reportOut)
+		}
+		rec.SetInsight(eng) // the dashboard's /alerts panel (nil-safe)
 	}
 
 	if *explain || *explainTop > 0 {

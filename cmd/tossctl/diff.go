@@ -59,10 +59,12 @@ func runDiff(args []string) int {
 }
 
 // docProbe sniffs which artifact a JSON file is: attribution dumps carry
-// "experiments", benchjson reports carry "benchmarks".
+// "experiments", benchjson reports carry "benchmarks", insight dumps
+// (tossctl -insight) carry "cells".
 type docProbe struct {
 	Experiments []json.RawMessage `json:"experiments"`
 	Benchmarks  []json.RawMessage `json:"benchmarks"`
+	Cells       []json.RawMessage `json:"cells"`
 }
 
 // benchDoc mirrors the fields of scripts/benchjson's report that diffing

@@ -31,6 +31,20 @@
 // ranking and every autoscaler action of each swept cell's best sustained
 // run, as JSON lines tagged with the cell name. Like the attribution dump,
 // the log is byte-identical for any -parallel value. Composes with -xray.
+//
+// -alerts <out.txt> writes the alert-wired experiments' (ext10, ext11)
+// virtual-time SLO alert log — fire/resolve edges per cell — and -insight
+// <out.json> writes the full insight dump (series summaries + alerts), the
+// input to `tossctl report`. Both are byte-identical for any -parallel
+// value: alerting replays each cell's recorded outcomes after the run, so
+// attaching it changes no decision (OBSERVABILITY.md).
+//
+// `tossctl report old new [old2 new2 ...] [-fail] [-html out]` is the
+// cross-run regression sentinel: it compares pairs of insight dumps, xray
+// attribution dumps, or scripts/benchjson reports (formats auto-detected
+// per pair), prints a markdown verdict naming each regressed (cell, metric)
+// pair, and under -fail exits non-zero when anything regressed — the CI
+// gate form.
 package main
 
 import (
@@ -45,6 +59,7 @@ import (
 	"toss/internal/experiments"
 	"toss/internal/fault"
 	"toss/internal/fleetobs"
+	"toss/internal/insight"
 	"toss/internal/telemetry"
 	"toss/internal/xray"
 )
@@ -56,6 +71,9 @@ func main() {
 func run() int {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
 		return runDiff(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		return runReport(os.Args[2:])
 	}
 	iters := flag.Int("iters", 5, "measurement repetitions per data point (paper uses 10)")
 	window := flag.Int("window", 12, "profiling convergence window (paper uses 100)")
@@ -70,6 +88,8 @@ func run() int {
 	clusterScale := flag.Float64("cluster-scale", 1, "scale for the long-horizon experiments: ext10's day (1 = full ~1.26M-invocation day; CI smoke uses 0.02) and ext11's migration epochs (CI smoke uses 0.25)")
 	xrayOut := flag.String("xray", "", "write per-experiment attribution budgets (JSON) to this `file`; compare runs with tossctl diff")
 	fleetLog := flag.String("fleetlog", "", "write the cluster experiments' fleet decision logs (JSON lines, one event per routing/scaling decision) to this `file`")
+	alerts := flag.String("alerts", "", "write the alert-wired experiments' (ext10, ext11) SLO alert log to this `file`")
+	insightOut := flag.String("insight", "", "write the insight dump (series + alerts per cell, JSON) to this `file`; compare runs with tossctl report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = func() {
@@ -192,6 +212,15 @@ func run() int {
 	if *fleetLog != "" {
 		suite.FleetSink = fleetobs.NewSink()
 	}
+	if *alerts != "" || *insightOut != "" {
+		suite.InsightSink = insight.NewSink()
+	}
+	finish := func() int {
+		if code := writeFleetLog(suite, *fleetLog); code != 0 {
+			return code
+		}
+		return writeInsight(suite, *alerts, *insightOut)
+	}
 
 	if *xrayOut != "" {
 		if met != nil {
@@ -202,7 +231,7 @@ func run() int {
 		if code := runXRay(suite, ids, *xrayOut, *timing, render); code != 0 {
 			return code
 		}
-		return writeFleetLog(suite, *fleetLog)
+		return finish()
 	}
 
 	if met != nil {
@@ -218,7 +247,7 @@ func run() int {
 			fmt.Println()
 			met.Reset()
 		}
-		return writeFleetLog(suite, *fleetLog)
+		return finish()
 	}
 
 	start := time.Now()
@@ -242,7 +271,50 @@ func run() int {
 		fmt.Printf("[%d experiments took %v over %d workers]\n",
 			len(timed), time.Since(start).Round(time.Millisecond), suite.Pool().Workers())
 	}
-	return writeFleetLog(suite, *fleetLog)
+	return finish()
+}
+
+// writeInsight writes the suite's folded alert log and/or insight dump when
+// -alerts / -insight asked for them. Both are byte-identical for any
+// -parallel value: the sink sorts cells by name and each cell's alert feed
+// replays a deterministic record stream.
+func writeInsight(suite *experiments.Suite, alertsPath, dumpPath string) int {
+	if suite.InsightSink == nil {
+		return 0
+	}
+	if alertsPath != "" {
+		f, err := os.Create(alertsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tossctl:", err)
+			return 1
+		}
+		err = suite.InsightSink.WriteAlertLog(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tossctl:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "tossctl: wrote alert log (%d cells) to %s\n", suite.InsightSink.Len(), alertsPath)
+	}
+	if dumpPath != "" {
+		f, err := os.Create(dumpPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tossctl:", err)
+			return 1
+		}
+		err = insight.WriteDumpJSON(f, suite.InsightSink.Dump())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tossctl:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "tossctl: wrote insight dump (%d cells) to %s\n", suite.InsightSink.Len(), dumpPath)
+	}
+	return 0
 }
 
 // writeFleetLog writes the suite's folded fleet decision log when -fleetlog

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"toss/internal/insight"
+	"toss/internal/xray"
+)
+
+// runReport implements the cross-run regression sentinel:
+//
+//	tossctl report [-threshold F] [-fail] [-html out] old new [old2 new2 ...]
+//
+// Each (old, new) pair is one artifact comparison; the format of each pair
+// is auto-detected from its old file — insight dumps (tossctl -insight),
+// attribution dumps (tossctl -xray), or benchmark reports
+// (scripts/benchjson). The verdict prints as markdown on stdout naming
+// every regressed (cell, metric) pair, -html additionally writes a
+// self-contained page, and -fail turns any regression into exit status 1 —
+// the shape CI consumes. Two same-seed runs produce byte-identical
+// artifacts, so a clean pair always reports PASS.
+func runReport(args []string) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.25, "relative change past which a cell regresses (0.25 = 25%)")
+	fail := fs.Bool("fail", false, "exit 1 when any section regressed (default: report only)")
+	htmlOut := fs.String("html", "", "also write the verdict as a self-contained HTML page to this `file`")
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, "usage: tossctl report [-threshold F] [-fail] [-html out] old new [old2 new2 ...]\n\n"+
+			"Compares pairs of run artifacts — insight dumps (tossctl -insight),\n"+
+			"attribution dumps (tossctl -xray), or benchmark reports\n"+
+			"(scripts/benchjson); formats auto-detected per pair — and prints a\n"+
+			"markdown verdict naming each regressed (cell, metric) pair.\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 2 || fs.NArg()%2 != 0 {
+		fs.Usage()
+		return 2
+	}
+	verdict := &insight.Verdict{Threshold: *threshold}
+	for i := 0; i < fs.NArg(); i += 2 {
+		sec, err := reportSection(fs.Arg(i), fs.Arg(i+1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tossctl: report:", err)
+			return 1
+		}
+		verdict.Sections = append(verdict.Sections, sec)
+	}
+	if err := verdict.WriteMarkdown(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tossctl: report:", err)
+		return 1
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tossctl: report:", err)
+			return 1
+		}
+		err = verdict.WriteHTML(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tossctl: report:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "tossctl: wrote HTML verdict to %s\n", *htmlOut)
+	}
+	if *fail && verdict.Failed() {
+		return 1
+	}
+	return 0
+}
+
+// reportSection compares one (old, new) artifact pair into a verdict
+// section. The old file decides the pair's format; mixing formats inside a
+// pair is an error (the insight/xray readers reject the other's schema).
+func reportSection(oldPath, newPath string, threshold float64) (insight.Section, error) {
+	title := oldPath + " -> " + newPath
+	isInsight, err := probeInsight(oldPath)
+	if err != nil {
+		return insight.Section{}, err
+	}
+	if isInsight {
+		oldDump, err := insight.ReadDumpFile(oldPath)
+		if err != nil {
+			return insight.Section{}, err
+		}
+		newDump, err := insight.ReadDumpFile(newPath)
+		if err != nil {
+			return insight.Section{}, err
+		}
+		return insight.DiffDumps(title, oldDump, newDump, threshold)
+	}
+	// Attribution dumps and benchjson reports both load through the diff
+	// subcommand's RunDoc bridge; keep the report's kind label honest.
+	kind := "xray"
+	if probe, err := probeFile(oldPath); err == nil && probe.Experiments == nil && probe.Benchmarks != nil {
+		kind = "bench"
+	}
+	oldDoc, err := loadRunDoc(oldPath)
+	if err != nil {
+		return insight.Section{}, err
+	}
+	newDoc, err := loadRunDoc(newPath)
+	if err != nil {
+		return insight.Section{}, err
+	}
+	res, err := xray.Diff(oldDoc, newDoc, threshold)
+	if err != nil {
+		return insight.Section{}, err
+	}
+	return insight.SectionFromXRayDiff(title, kind, res), nil
+}
+
+// probeFile reads just enough of a JSON artifact to classify it.
+func probeFile(path string) (docProbe, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return docProbe{}, err
+	}
+	var probe docProbe
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return docProbe{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return probe, nil
+}
+
+// probeInsight reports whether the file is an insight dump.
+func probeInsight(path string) (bool, error) {
+	probe, err := probeFile(path)
+	if err != nil {
+		return false, err
+	}
+	return probe.Cells != nil && probe.Experiments == nil && probe.Benchmarks == nil, nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"toss/internal/insight"
+	"toss/internal/simtime"
+)
+
+// writeDump builds a two-cell insight dump whose p99 series is scaled by
+// inflate and writes it to dir/name. inflate=1 is the healthy baseline.
+func writeDump(t *testing.T, dir, name string, inflate float64) string {
+	t.Helper()
+	sink := insight.NewSink()
+	for _, cell := range []string{"ext/dram", "ext/toss"} {
+		eng := insight.NewEngine(insight.NewStore(insight.Config{}))
+		base := 50.0
+		if cell == "ext/toss" {
+			base = 5.0
+		}
+		for i := 1; i <= 10; i++ {
+			eng.Observe("p99_ms", simtime.Duration(i)*simtime.Second, base*inflate)
+			eng.Observe("cold_pct", simtime.Duration(i)*simtime.Second, 0.5)
+		}
+		sink.Record(eng.Result(cell))
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := insight.WriteDumpJSON(f, sink.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureReport runs runReport with stdout captured.
+func captureReport(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	code := runReport(args)
+	os.Stdout = orig
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out)
+}
+
+// TestReportSentinel is the regression sentinel's self-test: a clean
+// baseline pair must pass, and a deliberately injected p99 regression must
+// flip `tossctl report -fail` to a non-zero exit naming the regressed
+// (cell, metric) pair. CI runs the same check end-to-end over real dumps.
+func TestReportSentinel(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeDump(t, dir, "old.json", 1)
+	clean := writeDump(t, dir, "new_clean.json", 1)
+	bad := writeDump(t, dir, "new_bad.json", 2)
+
+	code, out := captureReport(t, "-fail", baseline, clean)
+	if code != 0 {
+		t.Fatalf("clean pair: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "VERDICT: PASS") {
+		t.Fatalf("clean pair: missing PASS verdict:\n%s", out)
+	}
+
+	code, out = captureReport(t, "-fail", baseline, bad)
+	if code != 1 {
+		t.Fatalf("injected regression: exit %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"VERDICT: FAIL", "REGRESSED", "ext/dram", "series p99_ms mean", "+100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("injected regression: verdict missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "cold_pct") {
+		t.Fatalf("injected regression: unchanged series flagged:\n%s", out)
+	}
+
+	// Without -fail the same regression still prints but reports success.
+	code, out = captureReport(t, baseline, bad)
+	if code != 0 {
+		t.Fatalf("report without -fail: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "VERDICT: FAIL") {
+		t.Fatalf("report without -fail: missing FAIL verdict:\n%s", out)
+	}
+}
+
+// TestReportHTML pins the -html artifact: self-contained, no scripts, and
+// carrying the same verdict line as the markdown.
+func TestReportHTML(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeDump(t, dir, "old.json", 1)
+	bad := writeDump(t, dir, "new_bad.json", 2)
+	htmlPath := filepath.Join(dir, "verdict.html")
+
+	code, _ := captureReport(t, "-html", htmlPath, baseline, bad)
+	if code != 0 {
+		t.Fatalf("report -html: exit %d, want 0", code)
+	}
+	data, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(data)
+	for _, want := range []string{"<!doctype html>", "VERDICT: FAIL", "ext/dram"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("HTML verdict missing %q", want)
+		}
+	}
+	if strings.Contains(page, "<script") {
+		t.Fatal("HTML verdict must not embed scripts")
+	}
+}
+
+// TestReportUsageErrors pins the exit-2 argument contract: an odd number of
+// files is not a valid pairing.
+func TestReportUsageErrors(t *testing.T) {
+	if code := runReport([]string{"only-one.json"}); code != 2 {
+		t.Fatalf("odd file count: exit %d, want 2", code)
+	}
+	if code := runReport(nil); code != 2 {
+		t.Fatalf("no files: exit %d, want 2", code)
+	}
+}

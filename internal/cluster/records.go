@@ -1,6 +1,10 @@
 package cluster
 
-import "toss/internal/simtime"
+import (
+	"sort"
+
+	"toss/internal/simtime"
+)
 
 // Records is the run's per-invocation outcome log in columnar
 // (struct-of-arrays) form. A million-invocation run stores thirteen dense
@@ -89,4 +93,38 @@ func (r *Records) push(fid, node int32, level, route uint8, cold bool,
 	r.pull = append(r.pull, pull)
 	r.setup = append(r.setup, setup)
 	r.exec = append(r.exec, exec)
+}
+
+// Completion is one finished invocation in completion-time order — the
+// nondecreasing virtual-time feed shape insight's alert rules replay.
+type Completion struct {
+	// At is the completion time: arrival plus end-to-end latency.
+	At simtime.Duration
+	// Latency is the end-to-end response time.
+	Latency simtime.Duration
+	// Function / Level identify the invocation's profile cell.
+	Function string
+	Level    int
+	// Cold reports whether the invocation cold-started.
+	Cold bool
+}
+
+// Completions returns every recorded invocation sorted by completion time,
+// ties broken by record order, so replaying the slice feeds virtual time
+// forward deterministically. Purely derived from the columnar log: calling
+// it cannot affect a run.
+func (r *Records) Completions() []Completion {
+	out := make([]Completion, r.Len())
+	for i := range out {
+		lat := r.Latency(i)
+		out[i] = Completion{
+			At:       r.arrival[i] + lat,
+			Latency:  lat,
+			Function: r.fnNames[r.fn[i]],
+			Level:    int(r.level[i]),
+			Cold:     r.cold[i],
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
 }

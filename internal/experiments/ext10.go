@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"toss/internal/cluster"
+	"toss/internal/insight"
 	"toss/internal/par"
 	"toss/internal/sched"
 	"toss/internal/simtime"
@@ -98,6 +99,7 @@ func ExtMillionDay(s *Suite) (*Table, error) {
 		coldPct     float64
 		pulls       int64
 		pullSecs    float64
+		ins         insight.Result
 	}
 	mechs := []string{"toss", "dram"}
 	results, err := par.Map(s.Pool(), mechs, func(_ int, mech string) (row, error) {
@@ -138,13 +140,18 @@ func ExtMillionDay(s *Suite) (*Table, error) {
 		if err != nil {
 			return row{}, err
 		}
+		p99Ms := float64(ext10InflationP99(rep, profiles, warmup)) / float64(simtime.Millisecond)
+		coldPct := rep.ColdFraction() * 100
 		return row{
 			invocations: rep.Records.Len(),
 			thr:         rep.Throughput(),
-			p99Ms:       float64(ext10InflationP99(rep, profiles, warmup)) / float64(simtime.Millisecond),
-			coldPct:     rep.ColdFraction() * 100,
+			p99Ms:       p99Ms,
+			coldPct:     coldPct,
 			pulls:       rep.Pulls,
 			pullSecs:    float64(rep.PullTime) / float64(simtime.Second),
+			// Alerting replays the columnar record log after the run; the
+			// hot loop above still ran observer-free.
+			ins: ext10Insight(mech, rep, profiles, horizon, warmup, p99Ms, coldPct),
 		}, nil
 	})
 	if err != nil {
@@ -189,6 +196,13 @@ func ExtMillionDay(s *Suite) (*Table, error) {
 	}
 	if toss.coldPct > dram.coldPct {
 		t.AddNote("WARNING: TOSS cold fraction %.2f%% above DRAM's %.2f%%", toss.coldPct, dram.coldPct)
+	}
+	t.AddNote("%s", insightNote([]insight.Result{toss.ins, dram.ins}))
+	if toss.ins.Fires() > 0 {
+		t.AddNote("WARNING: the tiered fleet fired %d SLO alert edge(s) over the day", toss.ins.Fires())
+	}
+	for _, r := range results {
+		s.InsightSink.Record(r.ins)
 	}
 	return t, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"toss/internal/access"
 	"toss/internal/guest"
+	"toss/internal/insight"
 	"toss/internal/mem"
 	"toss/internal/migrate"
 	"toss/internal/par"
@@ -151,6 +152,7 @@ func ExtTierMigration(s *Suite) (*Table, error) {
 	type row struct {
 		cost, meanMs, p99Ms, hitPct, movedMiB, stallMs float64
 		moves                                          int64
+		ins                                            insight.Result
 	}
 	results, err := par.Map(s.Pool(), cells, func(ci int, c cell) (row, error) {
 		shape := ext11Shapes[c.shape]
@@ -180,6 +182,9 @@ func ExtTierMigration(s *Suite) (*Table, error) {
 		eng.Tick(0)
 
 		meter := mem.NewMultiMeter(h.Levels())
+		// The alert feed observes values the loop computes anyway; it
+		// consumes nothing the migration engine acts on.
+		feed := newExt11InsightFeed(cfg.Epoch)
 		var lat []simtime.Duration
 		var hitSum, hitN int64
 		var stall simtime.Duration
@@ -209,6 +214,7 @@ func ExtTierMigration(s *Suite) (*Table, error) {
 				hitN++
 				eng.TouchExtent(i, float64(ext11Scan.TouchesPerPage()))
 			}
+			var epochWait simtime.Duration
 			for inv := 0; inv < ext11InvocationsPerEpoch; inv++ {
 				// Arrivals spread through the epoch (20/40/60/80%); the
 				// ones landing right after a tick eat the migration stall.
@@ -226,8 +232,11 @@ func ExtTierMigration(s *Suite) (*Table, error) {
 				}
 				lat = append(lat, l)
 				stall += wait
+				epochWait += wait
+				feed.invocation(at, l)
 			}
 			eng.Tick(epochStart + cfg.Epoch)
+			feed.epoch(epochStart+cfg.Epoch, fetch, epochWait, eng.Stats())
 		}
 
 		occ := eng.Occupancy()
@@ -245,14 +254,18 @@ func ExtTierMigration(s *Suite) (*Table, error) {
 			mean += float64(d)
 		}
 		mean /= float64(len(lat))
+		p99Ms := float64(stats.NearestRankInPlace(lat, 99)) / float64(simtime.Millisecond)
+		hitPct := 100 * float64(hitSum) / float64(hitN)
+		cellName := "ext11/" + shape.name + "/" + c.pol.String()
 		return row{
 			cost:     h.ProvisionedCost(bottomResident) / allDRAMCost,
 			meanMs:   mean / float64(simtime.Millisecond),
-			p99Ms:    float64(stats.NearestRankInPlace(lat, 99)) / float64(simtime.Millisecond),
-			hitPct:   100 * float64(hitSum) / float64(hitN),
+			p99Ms:    p99Ms,
+			hitPct:   hitPct,
 			moves:    st.Moves(),
 			movedMiB: float64(st.MovedPages) * guest.PageSize / (1 << 20),
 			stallMs:  float64(stall) / float64(simtime.Millisecond),
+			ins:      feed.finish(cellName, simtime.Duration(epochs+1)*cfg.Epoch, p99Ms, hitPct),
 		}, nil
 	})
 	if err != nil {
@@ -308,5 +321,11 @@ func ExtTierMigration(s *Suite) (*Table, error) {
 	if dominated == 0 {
 		t.AddNote("WARNING: full-migration dominated static-TOSS on no shape of the drifting workload")
 	}
+	insResults := make([]insight.Result, len(results))
+	for i, r := range results {
+		insResults[i] = r.ins
+		s.InsightSink.Record(r.ins)
+	}
+	t.AddNote("%s", insightNote(insResults))
 	return t, nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"toss/internal/core"
 	"toss/internal/fleetobs"
+	"toss/internal/insight"
 	"toss/internal/mem"
 	"toss/internal/microvm"
 	"toss/internal/obs"
@@ -48,6 +49,15 @@ type Suite struct {
 	// The sink folds parallel cells deterministically, so the exported
 	// JSON-lines log is byte-identical for any worker-pool size.
 	FleetSink *fleetobs.Sink
+	// InsightSink, when set, collects the alert-wired experiments'
+	// (ext10, ext11) per-cell insight results: virtual-time series,
+	// SLO-alert fire/resolve edges, and rule-evaluation counts. The
+	// alerts are computed either way (the tables note them); the sink
+	// only exports them. It folds parallel cells by sorted cell name, so
+	// the alert log and dump are byte-identical at any worker-pool size —
+	// and unlike Obs it is a pure post-run consumer, so attaching it does
+	// not force the pool serial.
+	InsightSink *insight.Sink
 	// Workers bounds the experiment engine's parallelism (see Pool). Zero
 	// or one runs everything serially. Set before the first Run.
 	Workers int

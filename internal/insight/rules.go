@@ -1,0 +1,429 @@
+package insight
+
+import (
+	"fmt"
+	"sort"
+
+	"toss/internal/simtime"
+	"toss/internal/xray"
+)
+
+// Op compares an observed value against a rule limit.
+type Op int
+
+// Comparison directions for threshold and rate rules.
+const (
+	// Above fires when the value exceeds the limit.
+	Above Op = iota
+	// Below fires when the value drops under the limit.
+	Below
+)
+
+// String returns ">" or "<".
+func (o Op) String() string {
+	if o == Below {
+		return "<"
+	}
+	return ">"
+}
+
+// violated reports whether v breaks the limit under o.
+func (o Op) violated(v, limit float64) bool {
+	if o == Below {
+		return v < limit
+	}
+	return v > limit
+}
+
+// Kind selects a rule's evaluation strategy.
+type Kind int
+
+// Rule kinds.
+const (
+	// Threshold fires when the watched series violates Limit for at least
+	// For of sustained virtual time.
+	Threshold Kind = iota
+	// Rate fires when the watched series' rate of change per second over
+	// the trailing Window violates Limit (same sustained-For semantics).
+	Rate
+	// Burn is a Google-SRE multi-window multi-burn-rate SLO rule over a
+	// latency stream: an observation violates when latency > Objective;
+	// the rule fires when the violation fraction exceeds FastBurn over the
+	// trailing FastWindow AND SlowBurn over the trailing SlowWindow, and
+	// resolves when the fast window recovers.
+	Burn
+)
+
+// String names the kind for logs and dumps.
+func (k Kind) String() string {
+	switch k {
+	case Rate:
+		return "rate"
+	case Burn:
+		return "burn"
+	default:
+		return "threshold"
+	}
+}
+
+// Rule is one alerting rule. Threshold and Rate watch a Store series by
+// name (values arrive via Engine.Observe); Burn watches a latency stream
+// (values arrive via Engine.ObserveLatency).
+type Rule struct {
+	// Name identifies the rule in the alert log.
+	Name string
+	// Kind selects the evaluation strategy.
+	Kind Kind
+	// Series is the watched series (Threshold, Rate) or latency stream
+	// (Burn) name.
+	Series string
+
+	// Op and Limit define the violation for Threshold (on the value) and
+	// Rate (on the change per second over Window).
+	Op    Op
+	Limit float64
+	// For is how long a violation must be sustained before the rule fires
+	// (0 fires on the first violating observation).
+	For simtime.Duration
+	// Window is the Rate rule's lookback.
+	Window simtime.Duration
+
+	// Objective is the Burn rule's per-observation latency SLO.
+	Objective simtime.Duration
+	// FastWindow/SlowWindow are the Burn rule's two trailing windows.
+	FastWindow, SlowWindow simtime.Duration
+	// FastBurn/SlowBurn are the violation fractions (0..1) both windows
+	// must exceed for the rule to fire.
+	FastBurn, SlowBurn float64
+}
+
+// BurnRule builds the standard multi-window multi-burn-rate SLO rule: fast
+// window catches an ongoing burn, slow window confirms it is significant.
+func BurnRule(name, stream string, objective, fast, slow simtime.Duration, fastBurn, slowBurn float64) Rule {
+	return Rule{
+		Name:       name,
+		Kind:       Burn,
+		Series:     stream,
+		Objective:  objective,
+		FastWindow: fast,
+		SlowWindow: slow,
+		FastBurn:   fastBurn,
+		SlowBurn:   slowBurn,
+	}
+}
+
+// Alert is one fire or resolve edge in the deterministic alert log.
+type Alert struct {
+	// At is the virtual time of the edge.
+	At simtime.Duration
+	// Rule names the rule that produced the edge.
+	Rule string
+	// Firing is true for a fire edge, false for a resolve edge.
+	Firing bool
+	// Value is the observation (or burn fraction / rate) at the edge.
+	Value float64
+	// Blame names the xray segment attribution attached at fire time
+	// (empty when no blamer is configured or on resolve edges).
+	Blame string
+}
+
+// State renders the edge direction for logs.
+func (a Alert) State() string {
+	if a.Firing {
+		return "FIRE"
+	}
+	return "RESOLVE"
+}
+
+// Blamer attributes a firing rule to a cause; BlameTop adapts an xray
+// report into one.
+type Blamer func(rule string, at simtime.Duration) string
+
+// BlameTop returns a Blamer naming the hottest segment of an xray report —
+// "function seg=segment share=NN.N%" — so every fire edge carries the
+// attribution answer to "where is the time going right now".
+func BlameTop(rep *xray.Report) Blamer {
+	if rep == nil {
+		return nil
+	}
+	top := rep.TopSegments(1)
+	if len(top) == 0 {
+		return nil
+	}
+	blame := fmt.Sprintf("%s seg=%s share=%.1f%%", top[0].Label, top[0].Segment, top[0].Share*100)
+	return func(string, simtime.Duration) string { return blame }
+}
+
+// burnWindow is a sliding violation window over a latency stream: O(1)
+// amortized per observation via a head cursor, mirroring xray.BurnTracker.
+type burnWindow struct {
+	width simtime.Duration
+	at    []simtime.Duration
+	bad   []bool
+	head  int
+	live  int // violations still inside the window
+}
+
+func (w *burnWindow) record(at simtime.Duration, violated bool) {
+	w.at = append(w.at, at)
+	w.bad = append(w.bad, violated)
+	if violated {
+		w.live++
+	}
+	cut := at - w.width
+	for w.head < len(w.at) && w.at[w.head] < cut {
+		if w.bad[w.head] {
+			w.live--
+		}
+		w.head++
+	}
+	// Reclaim the dead prefix once it dominates, keeping memory bounded.
+	if w.head > 1024 && w.head*2 > len(w.at) {
+		n := copy(w.at, w.at[w.head:])
+		w.at = w.at[:n]
+		m := copy(w.bad, w.bad[w.head:])
+		w.bad = w.bad[:m]
+		w.head = 0
+	}
+}
+
+// fraction returns the violation share of the observations in the window.
+func (w *burnWindow) fraction() float64 {
+	n := len(w.at) - w.head
+	if n == 0 {
+		return 0
+	}
+	return float64(w.live) / float64(n)
+}
+
+// ratePoint is one retained observation for a Rate rule's lookback.
+type ratePoint struct {
+	at simtime.Duration
+	v  float64
+}
+
+// ruleState is one rule's evaluation state machine.
+type ruleState struct {
+	rule Rule
+
+	pending      bool
+	pendingSince simtime.Duration
+	firing       bool
+
+	// Rate lookback ring.
+	hist []ratePoint
+	head int
+
+	// Burn windows.
+	fast, slow burnWindow
+}
+
+// Engine evaluates rules purely in virtual time. Feed it with Observe (for
+// threshold/rate series) and ObserveLatency (for burn streams); every
+// observation advances the state machines and may append fire/resolve edges
+// to the alert log. A nil *Engine no-ops every method.
+type Engine struct {
+	store  *Store
+	states []*ruleState
+	// byStream maps a series/stream name to the rules watching it, in
+	// registration order.
+	byStream map[string][]*ruleState
+	log      []Alert
+	blamer   Blamer
+	evals    int64
+}
+
+// NewEngine builds an engine over the given store (nil creates a private
+// default store) evaluating the given rules.
+func NewEngine(store *Store, rules ...Rule) *Engine {
+	if store == nil {
+		store = NewStore(Config{})
+	}
+	e := &Engine{store: store, byStream: make(map[string][]*ruleState)}
+	for _, r := range rules {
+		st := &ruleState{rule: r}
+		if r.Kind == Burn {
+			st.fast.width = r.FastWindow
+			st.slow.width = r.SlowWindow
+		}
+		e.states = append(e.states, st)
+		e.byStream[r.Series] = append(e.byStream[r.Series], st)
+	}
+	return e
+}
+
+// SetBlamer attaches the attribution callback consulted at fire time.
+func (e *Engine) SetBlamer(b Blamer) {
+	if e != nil {
+		e.blamer = b
+	}
+}
+
+// Store returns the engine's backing time-series store.
+func (e *Engine) Store() *Store {
+	if e == nil {
+		return nil
+	}
+	return e.store
+}
+
+// Observe records a value on a named series: it lands in the store and
+// drives every threshold/rate rule watching that series. Feed observations
+// in nondecreasing virtual time per series for deterministic edges.
+func (e *Engine) Observe(name string, at simtime.Duration, v float64) {
+	if e == nil {
+		return
+	}
+	e.store.Observe(name, at, v)
+	for _, st := range e.byStream[name] {
+		switch st.rule.Kind {
+		case Threshold:
+			e.evals++
+			e.step(st, at, v, st.rule.Op.violated(v, st.rule.Limit))
+		case Rate:
+			e.evals++
+			rate, ok := st.observeRate(at, v)
+			if ok {
+				e.step(st, at, rate, st.rule.Op.violated(rate, st.rule.Limit))
+			}
+		}
+	}
+}
+
+// ObserveLatency records one latency sample on a burn stream: every Burn
+// rule watching the stream updates both windows and re-evaluates, and
+// threshold/rate rules watching the same stream evaluate on the value in
+// milliseconds. The sample is also stored as a series point (milliseconds)
+// under the stream name so dumps carry the shape the rules saw.
+func (e *Engine) ObserveLatency(stream string, at simtime.Duration, latency simtime.Duration) {
+	if e == nil {
+		return
+	}
+	ms := float64(latency) / float64(simtime.Millisecond)
+	e.store.Observe(stream, at, ms)
+	for _, st := range e.byStream[stream] {
+		switch st.rule.Kind {
+		case Threshold:
+			e.evals++
+			e.step(st, at, ms, st.rule.Op.violated(ms, st.rule.Limit))
+			continue
+		case Rate:
+			e.evals++
+			if rate, ok := st.observeRate(at, ms); ok {
+				e.step(st, at, rate, st.rule.Op.violated(rate, st.rule.Limit))
+			}
+			continue
+		}
+		e.evals++
+		violated := latency > st.rule.Objective
+		st.fast.record(at, violated)
+		st.slow.record(at, violated)
+		ff, sf := st.fast.fraction(), st.slow.fraction()
+		if !st.firing {
+			if ff >= st.rule.FastBurn && sf >= st.rule.SlowBurn {
+				st.firing = true
+				e.fire(st, at, ff)
+			}
+		} else if ff < st.rule.FastBurn {
+			st.firing = false
+			e.log = append(e.log, Alert{At: at, Rule: st.rule.Name, Firing: false, Value: ff})
+		}
+	}
+}
+
+// observeRate pushes a point into the lookback and returns the change per
+// second across the retained window (false until two points are inside).
+func (st *ruleState) observeRate(at simtime.Duration, v float64) (float64, bool) {
+	st.hist = append(st.hist, ratePoint{at: at, v: v})
+	cut := at - st.rule.Window
+	for st.head < len(st.hist)-1 && st.hist[st.head].at < cut {
+		st.head++
+	}
+	if st.head > 1024 && st.head*2 > len(st.hist) {
+		n := copy(st.hist, st.hist[st.head:])
+		st.hist = st.hist[:n]
+		st.head = 0
+	}
+	oldest := st.hist[st.head]
+	dt := at - oldest.at
+	if dt <= 0 {
+		return 0, false
+	}
+	return (v - oldest.v) / dt.Seconds(), true
+}
+
+// step runs the sustained-For state machine shared by threshold and rate
+// rules.
+func (e *Engine) step(st *ruleState, at simtime.Duration, value float64, violated bool) {
+	if violated {
+		if !st.pending {
+			st.pending = true
+			st.pendingSince = at
+		}
+		if !st.firing && at-st.pendingSince >= st.rule.For {
+			st.firing = true
+			e.fire(st, at, value)
+		}
+		return
+	}
+	st.pending = false
+	if st.firing {
+		st.firing = false
+		e.log = append(e.log, Alert{At: at, Rule: st.rule.Name, Firing: false, Value: value})
+	}
+}
+
+// fire appends a fire edge, consulting the blamer for attribution.
+func (e *Engine) fire(st *ruleState, at simtime.Duration, value float64) {
+	a := Alert{At: at, Rule: st.rule.Name, Firing: true, Value: value}
+	if e.blamer != nil {
+		a.Blame = e.blamer(st.rule.Name, at)
+	}
+	e.log = append(e.log, a)
+}
+
+// Alerts returns the fire/resolve edges in feed order (a copy).
+func (e *Engine) Alerts() []Alert {
+	if e == nil {
+		return nil
+	}
+	return append([]Alert(nil), e.log...)
+}
+
+// Firing returns the names of rules currently firing, sorted.
+func (e *Engine) Firing() []string {
+	if e == nil {
+		return nil
+	}
+	var out []string
+	for _, st := range e.states {
+		if st.firing {
+			out = append(out, st.rule.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Evals returns the number of rule evaluations performed.
+func (e *Engine) Evals() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.evals
+}
+
+// Result snapshots the engine into the exportable per-cell block: series
+// summaries, the alert log, and the rules still firing at the end.
+func (e *Engine) Result(cell string) Result {
+	if e == nil {
+		return Result{Cell: cell}
+	}
+	return Result{
+		Cell:   cell,
+		Series: e.store.Summaries(),
+		Alerts: e.Alerts(),
+		Firing: e.Firing(),
+		Evals:  e.evals,
+	}
+}

@@ -1,0 +1,71 @@
+package insight
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// Sink collects per-cell Results from a parallel run and folds them into
+// sorted-by-cell artifacts, so the alert log and dump bytes are identical
+// at any `par` width — the same contract fleetobs.Sink makes for decision
+// logs. A nil *Sink no-ops every method.
+type Sink struct {
+	mu      sync.Mutex
+	results map[string]Result
+}
+
+// NewSink returns an enabled sink.
+func NewSink() *Sink {
+	return &Sink{results: make(map[string]Result)}
+}
+
+// Record stores one cell's result, replacing any prior result for the same
+// cell name.
+func (s *Sink) Record(res Result) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.results[res.Cell] = res
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded cells.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
+}
+
+// Results returns the recorded cells sorted by cell name.
+func (s *Sink) Results() []Result {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.results))
+	for n := range s.results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Result, 0, len(names))
+	for _, n := range names {
+		out = append(out, s.results[n])
+	}
+	return out
+}
+
+// Dump folds the recorded cells into an exportable document.
+func (s *Sink) Dump() Dump {
+	return Dump{Schema: SchemaVersion, Cells: s.Results()}
+}
+
+// WriteAlertLog renders the folded alert log for every recorded cell.
+func (s *Sink) WriteAlertLog(w io.Writer) error {
+	return WriteAlertLog(w, s.Results())
+}

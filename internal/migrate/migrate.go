@@ -220,6 +220,21 @@ type Stats struct {
 // Moves returns the total executed migrations.
 func (s Stats) Moves() int64 { return s.Promotions + s.Demotions + s.Evictions + s.Prefetches }
 
+// Minus returns the per-field difference s - prev: the activity of one
+// epoch when s and prev are consecutive Stats() snapshots. insight's
+// per-epoch migration series feed on it.
+func (s Stats) Minus(prev Stats) Stats {
+	return Stats{
+		Promotions: s.Promotions - prev.Promotions,
+		Demotions:  s.Demotions - prev.Demotions,
+		Evictions:  s.Evictions - prev.Evictions,
+		Prefetches: s.Prefetches - prev.Prefetches,
+		MovedPages: s.MovedPages - prev.MovedPages,
+		BusyTime:   s.BusyTime - prev.BusyTime,
+		Epochs:     s.Epochs - prev.Epochs,
+	}
+}
+
 // Engine is one function's migration daemon. It is not safe for concurrent
 // use; run one engine per goroutine (the determinism tests fan engines out
 // over internal/par and pin byte-identical logs).

@@ -4,10 +4,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 
 	"toss/internal/fleetobs"
+	"toss/internal/insight"
 	"toss/internal/obs"
 	"toss/internal/simtime"
 )
@@ -84,6 +86,105 @@ func TestDashboardEndpoints(t *testing.T) {
 			t.Errorf("%s served the index instead of 404", path)
 		}
 	}
+}
+
+// TestIndexListsRegisteredEndpoints pins the index to the mux: every link
+// the index renders must serve 200, so the endpoint list can never drift
+// from what is actually registered.
+func TestIndexListsRegisteredEndpoints(t *testing.T) {
+	rec := miniRun(t)
+	srv := httptest.NewServer(rec.Handler())
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("index: code=%d", code)
+	}
+	links := regexp.MustCompile(`href="([^"]+)"`).FindAllStringSubmatch(body, -1)
+	if len(links) < 10 {
+		t.Fatalf("index lists only %d endpoints:\n%s", len(links), body)
+	}
+	for _, m := range links {
+		if code, _, _ := get(t, srv, m[1]); code != http.StatusOK {
+			t.Errorf("index links %s but it serves %d", m[1], code)
+		}
+	}
+	for _, want := range []string{`href="/alerts"`, `href="/alerts.json"`, `href="/healthz"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %s", want)
+		}
+	}
+}
+
+// TestAlertEndpoints covers the SLO alert panel: the empty banner without
+// an engine, the firing view once one is attached, and the JSON snapshot
+// round-tripping as a valid insight dump.
+func TestAlertEndpoints(t *testing.T) {
+	rec := miniRun(t)
+	srv := httptest.NewServer(rec.Handler())
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/alerts")
+	if code != http.StatusOK || !strings.Contains(body, "no alert engine attached") {
+		t.Errorf("/alerts without engine: code=%d body=%q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Errorf("/alerts content-type = %q", ct)
+	}
+
+	eng := insight.NewEngine(insight.NewStore(insight.Config{}), insight.Rule{
+		Name: "util-high", Kind: insight.Threshold, Series: "util",
+		Op: insight.Above, Limit: 0.8,
+	})
+	eng.Observe("util", simtime.Second, 0.95)
+	rec.SetInsight(eng)
+
+	code, body, _ = get(t, srv, "/alerts")
+	if code != http.StatusOK || !strings.Contains(body, "FIRING: util-high") ||
+		!strings.Contains(body, "<!DOCTYPE html>") {
+		t.Errorf("/alerts with engine: code=%d body=%q", code, body)
+	}
+	if strings.Contains(body, "<script") {
+		t.Error("/alerts must be self-contained with no scripts")
+	}
+
+	code, body, hdr = get(t, srv, "/alerts.json")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
+		t.Errorf("/alerts.json code=%d ct=%q", code, hdr.Get("Content-Type"))
+	}
+	dump, err := insight.ReadDump(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/alerts.json is not a readable insight dump: %v", err)
+	}
+	if len(dump.Cells) != 1 || dump.Cells[0].Cell != "live" || dump.Cells[0].Fires() != 1 {
+		t.Errorf("/alerts.json cells = %+v", dump.Cells)
+	}
+
+	// A nil recorder keeps the alert surface nil-safe.
+	var nilRec *obs.Recorder
+	nilRec.SetInsight(eng)
+	if _, ok := nilRec.InsightResult(); ok {
+		t.Error("nil recorder reported an attached engine")
+	}
+}
+
+// TestFeedInsight bridges recorder samples into an insight store.
+func TestFeedInsight(t *testing.T) {
+	rec := miniRun(t)
+	st := insight.NewStore(insight.Config{})
+	rec.FeedInsight(st)
+	if len(st.Names()) == 0 {
+		t.Fatal("FeedInsight stored no series")
+	}
+	for _, n := range st.Names() {
+		if st.Series(n).Points() == 0 {
+			t.Errorf("series %s has no points", n)
+		}
+	}
+	// Nil store and nil recorder both no-op.
+	rec.FeedInsight(nil)
+	var nilRec *obs.Recorder
+	nilRec.FeedInsight(st)
 }
 
 // TestFleetEndpoints covers the node-grid panel: the index links it, it

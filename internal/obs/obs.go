@@ -35,6 +35,7 @@ import (
 	"toss/internal/damon"
 	"toss/internal/fleetobs"
 	"toss/internal/guest"
+	"toss/internal/insight"
 	"toss/internal/mem"
 	"toss/internal/simtime"
 	"toss/internal/telemetry"
@@ -108,6 +109,9 @@ type Recorder struct {
 	// fleet, when non-nil, is the fleet recorder behind the dashboard's
 	// node-grid panel (SetFleet).
 	fleet *fleetobs.Recorder
+	// insight, when non-nil, is the alert engine behind the dashboard's
+	// SLO alert panel (SetInsight).
+	insight *insight.Engine
 }
 
 // New returns an enabled recorder. Use a nil *Recorder for the disabled one.

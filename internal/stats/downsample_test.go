@@ -1,0 +1,89 @@
+package stats
+
+import "testing"
+
+// These tests pin the percentile behaviors internal/insight's downsampled
+// series and the experiments' p99 reports lean on: long duplicate runs
+// straddling the rank index (downsampled latencies collapse onto bucket
+// representatives, so ties are the common case, not the corner), and
+// windows that filter down to nothing (warmup cutoffs can empty a window
+// entirely).
+
+// TestNearestRankDuplicateRuns places the rank index inside, at the start
+// of, and at the end of a run of duplicated values; nearest-rank must
+// return the duplicated value in all three positions.
+func TestNearestRankDuplicateRuns(t *testing.T) {
+	// 10 ones, 80 fives, 10 nines: sorted index 0..99.
+	xs := make([]float64, 0, 100)
+	for i := 0; i < 10; i++ {
+		xs = append(xs, 9, 1) // interleaved: the sort has real work to do
+	}
+	for i := 0; i < 80; i++ {
+		xs = append(xs, 5)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {5, 1}, {10, 1}, // low run: int(10/100*99)=9 is still a one
+		{11, 5}, {50, 5}, {90, 5}, // the dominant run (indices 10..89)
+		{92, 9}, {99, 9}, {100, 9}, // the high run
+	}
+	for _, c := range cases {
+		in := append([]float64(nil), xs...)
+		if got := NearestRankInPlace(in, c.p); got != c.want {
+			t.Errorf("p%g of 10/80/10 runs = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+// TestNearestRankAllEqualEveryPercentile sweeps every integer percentile
+// over a fully-duplicated slice: any answer other than the single value
+// means an indexing bug.
+func TestNearestRankAllEqualEveryPercentile(t *testing.T) {
+	for p := 0; p <= 100; p++ {
+		xs := []int64{7, 7, 7, 7, 7, 7, 7}
+		if got := NearestRankInPlace(xs, float64(p)); got != 7 {
+			t.Fatalf("p%d of all-equal = %d, want 7", p, got)
+		}
+	}
+}
+
+// TestNearestRankEmptyAfterFiltering mirrors the report-path shape: a
+// warmup cutoff can leave zero samples, and the zero value (not a panic,
+// not an error branch) is the contract report code relies on.
+func TestNearestRankEmptyAfterFiltering(t *testing.T) {
+	all := []float64{1, 2, 3}
+	window := all[:0] // everything filtered out
+	if got := NearestRankInPlace(window, 99); got != 0 {
+		t.Errorf("empty window p99 = %g, want 0", got)
+	}
+	// One survivor: every percentile is that survivor.
+	window = all[2:]
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := NearestRankInPlace(window, p); got != 3 {
+			t.Errorf("single-survivor p%g = %g, want 3", p, got)
+		}
+	}
+}
+
+// TestPercentileInPlaceDuplicateTies pins the interpolating variant on the
+// same tied-run shape: interpolation between equal neighbors must stay
+// exactly on the duplicated value, with no drift from the frac arithmetic.
+func TestPercentileInPlaceDuplicateTies(t *testing.T) {
+	xs := []float64{2, 2, 2, 2, 8}
+	got, err := PercentileInPlace(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("p50 of [2 2 2 2 8] = %g, want 2", got)
+	}
+	got, err = PercentileInPlace([]float64{2, 2, 2, 2, 8}, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 2 || got > 8 {
+		t.Errorf("p90 of [2 2 2 2 8] = %g, want in (2, 8]", got)
+	}
+}

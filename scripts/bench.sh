@@ -22,8 +22,10 @@ echo "== micro-benchmarks ==" >&2
 # cluster_allocs_per_invocation from its line. MigrationEngine drives the
 # N-tier migration daemon over a drifting working set; benchjson hoists its
 # migrations/s metric into the suite block as migrations_per_second.
-go test -run='^$' -bench='TraceReplay|TraceCompile|BuildPagerank|SuiteSubset|ClusterRun|MigrationEngine' -benchmem \
-    ./internal/microvm/ ./internal/workload/ ./internal/experiments/ ./internal/cluster/ ./internal/migrate/ | tee "$tmp/bench.txt" >&2
+# AlertEngine drives the virtual-time alert engine over a mixed rule set;
+# benchjson hoists its evals/s metric as alerts_evaluations_per_second.
+go test -run='^$' -bench='TraceReplay|TraceCompile|BuildPagerank|SuiteSubset|ClusterRun|MigrationEngine|AlertEngine' -benchmem \
+    ./internal/microvm/ ./internal/workload/ ./internal/experiments/ ./internal/cluster/ ./internal/migrate/ ./internal/insight/ | tee "$tmp/bench.txt" >&2
 
 echo "== suite wall-clock ==" >&2
 go build -o "$tmp/tossctl" ./cmd/tossctl
@@ -69,8 +71,17 @@ fo_end=$(date +%s.%N)
 fleetobs=$(echo "$fo_end $fo_start" | awk '{printf "%.2f", $1 - $2}')
 echo "ext9 with -xray/-fleetlog ${fleetobs}s" >&2
 
+# Insight export cost: ext11 again with the alert log and insight dump on —
+# the delta against the bare ext11 time above is what alert evaluation and
+# the series store cost end to end.
+in_start=$(date +%s.%N)
+"$tmp/tossctl" -parallel 1 -alerts "$tmp/alerts.txt" -insight "$tmp/insight.json" ext11 > /dev/null 2>&1
+in_end=$(date +%s.%N)
+insight=$(echo "$in_end $in_start" | awk '{printf "%.2f", $1 - $2}')
+echo "ext11 with -alerts/-insight ${insight}s" >&2
+
 go run ./scripts/benchjson -serial "$serial" -parallel "$par" -workers "$workers" \
-    -ext8 "$ext8" -fleetobs "$fleetobs" "${ext_flags[@]}" < "$tmp/bench.txt" > "$out"
+    -ext8 "$ext8" -fleetobs "$fleetobs" -insight "$insight" "${ext_flags[@]}" < "$tmp/bench.txt" > "$out"
 echo "wrote $out" >&2
 
 # Run-to-run regression diff against the checked-in baseline: warn-only (CI

@@ -72,6 +72,15 @@ type Suite struct {
 	// "migrations/s" metric: how fast the engine folds heat and repacks
 	// tiers on a drifting working set.
 	MigrationsPerSecond float64 `json:"migrations_per_second,omitempty"`
+	// InsightSeconds is the wall-clock of the ext11 sweep with the insight
+	// layer on (-alerts alert log plus -insight dump) — the end-to-end cost
+	// of alert evaluation and the series store; compare against
+	// ExtSeconds["ext11"] for the insight overhead.
+	InsightSeconds float64 `json:"insight_seconds,omitempty"`
+	// AlertsEvalsPerSecond is derived from BenchmarkAlertEngine's "evals/s"
+	// metric: how many rule evaluations per second the virtual-time alert
+	// engine sustains on a mixed threshold/rate/burn rule set.
+	AlertsEvalsPerSecond float64 `json:"alerts_evaluations_per_second,omitempty"`
 }
 
 // Report is the document written to stdout.
@@ -105,6 +114,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count N used for the parallel run")
 	ext8 := flag.Float64("ext8", 0, "wall-clock seconds of the ext8 fault sweep alone (0 omits)")
 	fleetobs := flag.Float64("fleetobs", 0, "wall-clock seconds of ext9 with -xray and -fleetlog exports on (0 omits)")
+	insight := flag.Float64("insight", 0, "wall-clock seconds of ext11 with -alerts and -insight exports on (0 omits)")
 	exts := extFlag{}
 	flag.Var(exts, "ext", "per-experiment wall-clock as name=seconds (repeatable, e.g. -ext ext1=3.20)")
 	flag.Parse()
@@ -118,6 +128,7 @@ func main() {
 			Speedup:         *serial / *parallel,
 			Ext8Seconds:     *ext8,
 			FleetObsSeconds: *fleetobs,
+			InsightSeconds:  *insight,
 		}
 		if len(exts) > 0 {
 			report.Suite.ExtSeconds = exts
@@ -156,6 +167,8 @@ func main() {
 				}
 			case strings.HasPrefix(b.Name, "BenchmarkMigrationEngine"):
 				report.Suite.MigrationsPerSecond = b.Extra["migrations/s"]
+			case strings.HasPrefix(b.Name, "BenchmarkAlertEngine"):
+				report.Suite.AlertsEvalsPerSecond = b.Extra["evals/s"]
 			}
 		}
 	}

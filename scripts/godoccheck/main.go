@@ -1,10 +1,12 @@
 // Command godoccheck enforces godoc coverage on the packages whose APIs the
-// docs lean on (TIERS.md, DESIGN.md): every exported top-level declaration —
-// type, function, method on an exported type, and const/var group — must
-// carry a doc comment, and every package must have a package comment on at
-// least one file. CI runs it over internal/mem, internal/migrate,
-// internal/snapshot, and internal/sched; it prints one line per missing
-// comment and exits non-zero if any are missing.
+// docs lean on (TIERS.md, DESIGN.md, OBSERVABILITY.md): every exported
+// top-level declaration — type, function, method on an exported type, and
+// const/var group — must carry a doc comment, and every package must have a
+// package comment on at least one file. CI runs it over the tiering core
+// (internal/mem, internal/migrate, internal/snapshot, internal/sched) and
+// the observability stack (internal/telemetry, internal/obs,
+// internal/fleetobs, internal/xray, internal/insight); it prints one line
+// per missing comment and exits non-zero if any are missing.
 //
 // Usage:
 //
